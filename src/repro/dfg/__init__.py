@@ -1,0 +1,29 @@
+"""Dataflow graphs: the hardware-level description the analyses operate on.
+
+A :class:`DFG` is a directed graph of arithmetic operations (the
+"computation tree" of the paper) annotated per node with fixed-point
+characteristics.  The builders turn symbolic expressions or hand-written
+design descriptions into DFGs; the evaluators run them in floating point,
+in any enclosure algebra, or bit-true in fixed point; the range analysis
+derives the integer bit-widths required at every node.
+"""
+
+from repro.dfg.builder import DFGBuilder, Wire, expression_to_dfg
+from repro.dfg.evaluate import evaluate_combinational, simulate, simulate_fixed_point
+from repro.dfg.graph import DFG
+from repro.dfg.node import Node, OpType
+from repro.dfg.range_analysis import formats_for_ranges, infer_ranges
+
+__all__ = [
+    "DFG",
+    "Node",
+    "OpType",
+    "DFGBuilder",
+    "Wire",
+    "expression_to_dfg",
+    "evaluate_combinational",
+    "simulate",
+    "simulate_fixed_point",
+    "infer_ranges",
+    "formats_for_ranges",
+]

@@ -1,0 +1,237 @@
+"""Evaluation and simulation of dataflow graphs.
+
+Three evaluation modes cover the needs of the analyses:
+
+* :func:`evaluate_combinational` — single-shot evaluation of a
+  combinational graph in *any* algebra (floats, intervals, affine forms,
+  Taylor models, histogram PDFs).  This is what the IA / AA / sequential
+  SNA analyses call.
+* :func:`simulate` — time-stepped floating-point simulation of sequential
+  graphs (delay registers hold state between steps).
+* :func:`simulate_fixed_point` — the same time-stepped simulation, but
+  every node's result is quantized into its assigned fixed-point format,
+  yielding the bit-true behaviour the analytic noise models are validated
+  against.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+from repro.dfg.graph import DFG
+from repro.dfg.node import Node, OpType
+from repro.errors import DFGError
+from repro.fixedpoint.format import FixedPointFormat, OverflowMode, QuantizationMode
+from repro.fixedpoint.quantize import quantize
+
+__all__ = [
+    "evaluate_combinational",
+    "simulate",
+    "simulate_fixed_point",
+    "SimulationResult",
+]
+
+
+def _apply_op(node: Node, operands: list[Any]) -> Any:
+    if node.op is OpType.ADD:
+        return operands[0] + operands[1]
+    if node.op is OpType.SUB:
+        return operands[0] - operands[1]
+    if node.op is OpType.MUL:
+        return operands[0] * operands[1]
+    if node.op is OpType.DIV:
+        return operands[0] / operands[1]
+    if node.op is OpType.NEG:
+        return -operands[0]
+    if node.op is OpType.SQUARE:
+        value = operands[0]
+        if hasattr(value, "square"):
+            return value.square()
+        return value * value
+    if node.op is OpType.OUTPUT:
+        return operands[0]
+    raise DFGError(f"unsupported operation {node.op!r} in evaluation")
+
+
+def evaluate_combinational(
+    graph: DFG,
+    inputs: Mapping[str, Any],
+    delay_values: Mapping[str, Any] | None = None,
+) -> Dict[str, Any]:
+    """Evaluate every node of a (combinational view of a) graph once.
+
+    ``inputs`` maps input-port names to values in the chosen algebra.
+    ``delay_values`` supplies the current outputs of delay registers (all
+    zero by default), which makes this function usable as the inner step
+    of the sequential simulators.
+
+    Returns a mapping of node name to value for *all* nodes.
+    """
+    missing = [name for name in graph.inputs() if name not in inputs]
+    if missing:
+        raise DFGError(f"missing input values for: {', '.join(sorted(missing))}")
+    delay_values = dict(delay_values or {})
+
+    values: Dict[str, Any] = {}
+    for name in graph.topological_order():
+        node = graph.node(name)
+        if node.op is OpType.INPUT:
+            values[name] = inputs[name]
+        elif node.op is OpType.CONST:
+            values[name] = float(node.value)
+        elif node.op is OpType.DELAY:
+            values[name] = delay_values.get(name, 0.0)
+        else:
+            operands = [values[operand] for operand in node.inputs]
+            values[name] = _apply_op(node, operands)
+    return values
+
+
+class SimulationResult:
+    """Time series produced by :func:`simulate` / :func:`simulate_fixed_point`."""
+
+    def __init__(self, node_series: Dict[str, np.ndarray], outputs: list[str]) -> None:
+        self.node_series = node_series
+        self.output_names = outputs
+
+    def output(self, name: str | None = None) -> np.ndarray:
+        """Series of an output node (the single output when unnamed)."""
+        if name is None:
+            if len(self.output_names) != 1:
+                raise DFGError(
+                    f"graph has {len(self.output_names)} outputs; specify which one you want"
+                )
+            name = self.output_names[0]
+        if name not in self.node_series:
+            raise DFGError(f"unknown output {name!r}")
+        return self.node_series[name]
+
+    def node(self, name: str) -> np.ndarray:
+        """Series of any node."""
+        if name not in self.node_series:
+            raise DFGError(f"unknown node {name!r}")
+        return self.node_series[name]
+
+    @property
+    def length(self) -> int:
+        """Number of simulated time steps."""
+        if not self.node_series:
+            return 0
+        return len(next(iter(self.node_series.values())))
+
+
+def _as_series(graph: DFG, inputs: Mapping[str, Any], length: int | None) -> tuple[Dict[str, np.ndarray], int]:
+    series: Dict[str, np.ndarray] = {}
+    resolved_length = length
+    for name in graph.inputs():
+        if name not in inputs:
+            raise DFGError(f"missing input series for {name!r}")
+        value = np.atleast_1d(np.asarray(inputs[name], dtype=float))
+        series[name] = value
+        if value.size > 1:
+            if resolved_length is None:
+                resolved_length = value.size
+            elif value.size != resolved_length:
+                raise DFGError(
+                    f"input {name!r} has length {value.size}, expected {resolved_length}"
+                )
+    if resolved_length is None:
+        resolved_length = 1
+    for name, value in series.items():
+        if value.size == 1:
+            series[name] = np.full(resolved_length, float(value[0]))
+    return series, resolved_length
+
+
+def simulate(
+    graph: DFG,
+    inputs: Mapping[str, Any],
+    length: int | None = None,
+    record_all: bool = True,
+) -> SimulationResult:
+    """Floating-point time-stepped simulation of a (possibly sequential) graph.
+
+    ``inputs`` maps each input port either to a scalar (held constant) or
+    to a 1-D series; delay registers start at zero.
+    """
+    series, steps = _as_series(graph, inputs, length)
+    order = graph.topological_order()
+    delay_state: Dict[str, float] = {name: 0.0 for name in graph.delays()}
+    recorded: Dict[str, np.ndarray] = {
+        name: np.zeros(steps) for name in (graph.names() if record_all else graph.outputs())
+    }
+
+    for t in range(steps):
+        values: Dict[str, float] = {}
+        for name in order:
+            node = graph.node(name)
+            if node.op is OpType.INPUT:
+                values[name] = float(series[name][t])
+            elif node.op is OpType.CONST:
+                values[name] = float(node.value)
+            elif node.op is OpType.DELAY:
+                values[name] = delay_state[name]
+            else:
+                values[name] = float(_apply_op(node, [values[op] for op in node.inputs]))
+        for name in graph.delays():
+            source = graph.node(name).inputs[0]
+            delay_state[name] = values[source]
+        for name in recorded:
+            recorded[name][t] = values[name]
+    return SimulationResult(recorded, graph.outputs())
+
+
+def simulate_fixed_point(
+    graph: DFG,
+    inputs: Mapping[str, Any],
+    formats: Mapping[str, FixedPointFormat],
+    quantization: QuantizationMode | str = QuantizationMode.ROUND,
+    overflow: OverflowMode | str = OverflowMode.SATURATE,
+    length: int | None = None,
+    quantize_inputs: bool = True,
+    record_all: bool = False,
+) -> SimulationResult:
+    """Bit-true fixed-point simulation of a graph.
+
+    Every node listed in ``formats`` has its result quantized into that
+    format after each evaluation (nodes without an entry are kept at full
+    precision, which models an exact wide intermediate).  The result is
+    the actual finite-precision behaviour of the datapath, used as the
+    reference the SNA error predictions are checked against.
+    """
+    quantization = QuantizationMode.coerce(quantization)
+    overflow = OverflowMode.coerce(overflow)
+    series, steps = _as_series(graph, inputs, length)
+    order = graph.topological_order()
+    delay_state: Dict[str, float] = {name: 0.0 for name in graph.delays()}
+    recorded_names = graph.names() if record_all else graph.outputs()
+    recorded: Dict[str, np.ndarray] = {name: np.zeros(steps) for name in recorded_names}
+
+    def maybe_quantize(name: str, value: float) -> float:
+        fmt = formats.get(name)
+        if fmt is None:
+            return value
+        return quantize(value, fmt, quantization, overflow)
+
+    for t in range(steps):
+        values: Dict[str, float] = {}
+        for name in order:
+            node = graph.node(name)
+            if node.op is OpType.INPUT:
+                raw = float(series[name][t])
+                values[name] = maybe_quantize(name, raw) if quantize_inputs else raw
+            elif node.op is OpType.CONST:
+                values[name] = maybe_quantize(name, float(node.value))
+            elif node.op is OpType.DELAY:
+                values[name] = delay_state[name]
+            else:
+                raw = float(_apply_op(node, [values[op] for op in node.inputs]))
+                values[name] = maybe_quantize(name, raw)
+        for name in graph.delays():
+            source = graph.node(name).inputs[0]
+            delay_state[name] = values[source]
+        for name in recorded:
+            recorded[name][t] = values[name]
+    return SimulationResult(recorded, graph.outputs())

@@ -1,0 +1,103 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError` so downstream users can catch library failures with a
+single ``except`` clause while still being able to distinguish the common
+failure classes (bad interval bounds, empty histograms, infeasible
+word-length constraints, malformed dataflow graphs, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "IntervalError",
+    "EmptyIntervalError",
+    "DivisionByZeroIntervalError",
+    "HistogramError",
+    "SymbolError",
+    "ExpressionError",
+    "FixedPointError",
+    "OverflowModeError",
+    "DFGError",
+    "NodeNotFoundError",
+    "CycleError",
+    "NoiseModelError",
+    "SchedulingError",
+    "AllocationError",
+    "OptimizationError",
+    "InfeasibleConstraintError",
+    "DesignError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class IntervalError(ReproError):
+    """Raised for malformed interval operations (e.g. ``lo > hi``)."""
+
+
+class EmptyIntervalError(IntervalError):
+    """Raised when an operation produces or requires an empty interval."""
+
+
+class DivisionByZeroIntervalError(IntervalError):
+    """Raised when dividing by an interval that contains zero."""
+
+
+class HistogramError(ReproError):
+    """Raised for malformed histogram PDFs (bad bins, probabilities, ...)."""
+
+
+class SymbolError(ReproError):
+    """Raised for noise-symbol registry problems (duplicate names, ...)."""
+
+
+class ExpressionError(ReproError):
+    """Raised when a symbolic expression cannot be built or evaluated."""
+
+
+class FixedPointError(ReproError):
+    """Raised for invalid fixed-point formats or conversions."""
+
+
+class OverflowModeError(FixedPointError):
+    """Raised when an unknown overflow or quantization mode is requested."""
+
+
+class DFGError(ReproError):
+    """Raised for malformed dataflow graphs."""
+
+
+class NodeNotFoundError(DFGError):
+    """Raised when a node id is not present in a dataflow graph."""
+
+
+class CycleError(DFGError):
+    """Raised when a combinational cycle (not broken by delays) is found."""
+
+
+class NoiseModelError(ReproError):
+    """Raised when a quantization-noise model cannot be constructed."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a schedule cannot be produced under the constraints."""
+
+
+class AllocationError(ReproError):
+    """Raised when resource allocation or binding fails."""
+
+
+class OptimizationError(ReproError):
+    """Raised when a word-length optimization cannot make progress."""
+
+
+class InfeasibleConstraintError(OptimizationError):
+    """Raised when no word-length assignment can satisfy the constraints."""
+
+
+class DesignError(ReproError):
+    """Raised when a case-study design is instantiated with bad parameters."""

@@ -1,0 +1,28 @@
+"""Fixed-point arithmetic substrate.
+
+Provides the arithmetic characteristics the paper optimizes over: the
+word-length split into integer and fractional bits, the truncation mode
+(round-off vs truncation) and the overflow mode (saturation vs
+wrap-around), plus a bit-true value type used by the Monte-Carlo
+validation path.
+"""
+
+from repro.fixedpoint.format import FixedPointFormat, OverflowMode, QuantizationMode
+from repro.fixedpoint.number import FixedPointNumber
+from repro.fixedpoint.quantize import (
+    overflow_wrap,
+    quantization_error_bounds,
+    quantize,
+    quantize_array,
+)
+
+__all__ = [
+    "FixedPointFormat",
+    "QuantizationMode",
+    "OverflowMode",
+    "FixedPointNumber",
+    "quantize",
+    "quantize_array",
+    "quantization_error_bounds",
+    "overflow_wrap",
+]

@@ -1,0 +1,131 @@
+"""A bit-true fixed-point value type.
+
+:class:`FixedPointNumber` pairs a real value (always held exactly on the
+format's grid) with its :class:`FixedPointFormat`.  Arithmetic follows
+the usual hardware conventions: the full-precision result is computed
+first and then quantized into the result format (either supplied
+explicitly or grown to hold the exact result).  This type backs the
+Monte-Carlo "actual values" reference used to validate the analytic noise
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import FixedPointError
+from repro.fixedpoint.format import FixedPointFormat, OverflowMode, QuantizationMode
+from repro.fixedpoint.quantize import quantize
+
+__all__ = ["FixedPointNumber"]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class FixedPointNumber:
+    """An exactly representable value in a given fixed-point format."""
+
+    value: float
+    fmt: FixedPointFormat
+    quantization: QuantizationMode = QuantizationMode.ROUND
+    overflow: OverflowMode = OverflowMode.SATURATE
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_real(
+        cls,
+        value: Number,
+        fmt: FixedPointFormat,
+        quantization: QuantizationMode | str = QuantizationMode.ROUND,
+        overflow: OverflowMode | str = OverflowMode.SATURATE,
+    ) -> "FixedPointNumber":
+        """Quantize a real value into ``fmt`` and wrap it."""
+        quantization = QuantizationMode.coerce(quantization)
+        overflow = OverflowMode.coerce(overflow)
+        stored = quantize(float(value), fmt, quantization, overflow)
+        return cls(stored, fmt, quantization, overflow)
+
+    def __post_init__(self) -> None:
+        if not self.fmt.representable(self.value):
+            raise FixedPointError(
+                f"{self.value!r} is not representable in {self.fmt.describe()}; "
+                "use FixedPointNumber.from_real to quantize first"
+            )
+
+    # ------------------------------------------------------------------ #
+    def quantization_error(self, reference: Number) -> float:
+        """Stored value minus the (infinite-precision) reference value."""
+        return self.value - float(reference)
+
+    def requantize(
+        self,
+        fmt: FixedPointFormat,
+        quantization: QuantizationMode | str | None = None,
+        overflow: OverflowMode | str | None = None,
+    ) -> "FixedPointNumber":
+        """Convert to another format, applying precision/overflow effects."""
+        quant = QuantizationMode.coerce(quantization) if quantization is not None else self.quantization
+        over = OverflowMode.coerce(overflow) if overflow is not None else self.overflow
+        return FixedPointNumber.from_real(self.value, fmt, quant, over)
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedPointNumber({self.value:g}, {self.fmt.describe()})"
+
+    # ------------------------------------------------------------------ #
+    def _result_format(self, other: "FixedPointNumber", grow_for: str) -> FixedPointFormat:
+        """Format large enough to hold the exact result of an operation."""
+        if grow_for == "add":
+            integer_bits = max(self.fmt.integer_bits, other.fmt.integer_bits) + 1
+            fractional_bits = max(self.fmt.fractional_bits, other.fmt.fractional_bits)
+        elif grow_for == "mul":
+            integer_bits = self.fmt.integer_bits + other.fmt.integer_bits
+            fractional_bits = self.fmt.fractional_bits + other.fmt.fractional_bits
+        else:
+            raise FixedPointError(f"unknown growth rule {grow_for!r}")
+        signed = self.fmt.signed or other.fmt.signed
+        integer_bits = max(integer_bits, 1 if signed else 0)
+        return FixedPointFormat(integer_bits, fractional_bits, signed)
+
+    def _coerce(self, other: "FixedPointNumber | Number") -> "FixedPointNumber":
+        if isinstance(other, FixedPointNumber):
+            return other
+        if isinstance(other, (int, float)):
+            fmt = FixedPointFormat.for_range(
+                min(0.0, float(other)), max(0.0, float(other)), self.fmt.fractional_bits, signed=True
+            )
+            return FixedPointNumber.from_real(float(other), fmt, self.quantization, self.overflow)
+        raise FixedPointError(f"cannot combine FixedPointNumber with {type(other).__name__}")
+
+    def _wrap_exact(self, value: float, fmt: FixedPointFormat) -> "FixedPointNumber":
+        return FixedPointNumber.from_real(value, fmt, self.quantization, self.overflow)
+
+    def __add__(self, other: "FixedPointNumber | Number") -> "FixedPointNumber":
+        other = self._coerce(other)
+        fmt = self._result_format(other, "add")
+        return self._wrap_exact(self.value + other.value, fmt)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "FixedPointNumber | Number") -> "FixedPointNumber":
+        other = self._coerce(other)
+        fmt = self._result_format(other, "add")
+        return self._wrap_exact(self.value - other.value, fmt)
+
+    def __rsub__(self, other: "FixedPointNumber | Number") -> "FixedPointNumber":
+        return self._coerce(other) - self
+
+    def __mul__(self, other: "FixedPointNumber | Number") -> "FixedPointNumber":
+        other = self._coerce(other)
+        fmt = self._result_format(other, "mul")
+        return self._wrap_exact(self.value * other.value, fmt)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "FixedPointNumber":
+        fmt = FixedPointFormat(self.fmt.integer_bits + 1, self.fmt.fractional_bits, True)
+        return self._wrap_exact(-self.value, fmt)

@@ -1,0 +1,88 @@
+"""Quantization and overflow handling for scalar values and numpy arrays."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import FixedPointError
+from repro.fixedpoint.format import FixedPointFormat, OverflowMode, QuantizationMode
+from repro.intervals.interval import Interval
+
+__all__ = [
+    "quantize",
+    "quantize_array",
+    "quantization_error_bounds",
+    "overflow_wrap",
+]
+
+Number = Union[int, float]
+
+
+def _apply_precision(scaled: np.ndarray, mode: QuantizationMode) -> np.ndarray:
+    if mode is QuantizationMode.ROUND:
+        # round-half-away-from-zero, the usual DSP hardware convention
+        return np.floor(scaled + 0.5)
+    if mode is QuantizationMode.TRUNCATE:
+        return np.floor(scaled)
+    raise FixedPointError(f"unknown quantization mode {mode!r}")
+
+
+def overflow_wrap(value: np.ndarray | float, fmt: FixedPointFormat) -> np.ndarray | float:
+    """Two's-complement wrap-around of ``value`` into the format's range."""
+    span = fmt.modulus
+    shifted = np.asarray(value, dtype=float) - fmt.min_value
+    wrapped = np.mod(shifted, span) + fmt.min_value
+    if np.isscalar(value) or np.ndim(value) == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def quantize_array(
+    values: np.ndarray,
+    fmt: FixedPointFormat,
+    quantization: QuantizationMode | str = QuantizationMode.ROUND,
+    overflow: OverflowMode | str = OverflowMode.SATURATE,
+) -> np.ndarray:
+    """Quantize an array of real values into the given fixed-point format."""
+    quantization = QuantizationMode.coerce(quantization)
+    overflow = OverflowMode.coerce(overflow)
+    values = np.asarray(values, dtype=float)
+
+    scaled = values / fmt.step
+    quantized = _apply_precision(scaled, quantization) * fmt.step
+
+    if overflow is OverflowMode.SATURATE:
+        return np.clip(quantized, fmt.min_value, fmt.max_value)
+    if overflow is OverflowMode.WRAP:
+        return np.asarray(overflow_wrap(quantized, fmt), dtype=float)
+    raise FixedPointError(f"unknown overflow mode {overflow!r}")
+
+
+def quantize(
+    value: Number,
+    fmt: FixedPointFormat,
+    quantization: QuantizationMode | str = QuantizationMode.ROUND,
+    overflow: OverflowMode | str = OverflowMode.SATURATE,
+) -> float:
+    """Quantize a single real value into the given fixed-point format."""
+    result = quantize_array(np.asarray([float(value)]), fmt, quantization, overflow)
+    return float(result[0])
+
+
+def quantization_error_bounds(
+    fmt: FixedPointFormat,
+    quantization: QuantizationMode | str = QuantizationMode.ROUND,
+) -> Interval:
+    """Worst-case quantization error interval (overflow excluded).
+
+    Round-to-nearest errors lie in ``[-q/2, +q/2]``; truncation errors lie
+    in ``(-q, 0]`` (returned as the closed interval ``[-q, 0]``), where
+    ``q`` is the quantization step of ``fmt``.
+    """
+    quantization = QuantizationMode.coerce(quantization)
+    step = fmt.step
+    if quantization is QuantizationMode.ROUND:
+        return Interval(-0.5 * step, 0.5 * step)
+    return Interval(-step, 0.0)

@@ -1,0 +1,111 @@
+"""Common probability-density shapes used by the error models.
+
+The paper stresses that SNA places *no restriction* on the noise-symbol
+PDFs — a symbol can carry a practically extracted or stimulus-based
+distribution.  These constructors cover the distributions most frequently
+attached to symbols in practice: uniform (round-off noise), triangular
+(sum of two round-offs), truncated Gaussian (measured noise) and the
+one-sided uniform density of magnitude truncation.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import HistogramError
+from repro.histogram.pdf import HistogramPDF
+from repro.utils.mathutils import ulp
+
+__all__ = [
+    "uniform_histogram",
+    "triangular_histogram",
+    "gaussian_histogram",
+    "quantization_error_histogram",
+]
+
+Number = Union[int, float]
+
+
+def uniform_histogram(lo: Number, hi: Number, bins: int = 16) -> HistogramPDF:
+    """Uniform density over ``[lo, hi]``."""
+    return HistogramPDF.uniform(lo, hi, bins=bins)
+
+
+def triangular_histogram(lo: Number, mode: Number, hi: Number, bins: int = 32) -> HistogramPDF:
+    """Triangular density with the given support and mode."""
+    lo = float(lo)
+    mode = float(mode)
+    hi = float(hi)
+    if not lo <= mode <= hi:
+        raise HistogramError(f"mode {mode} must lie inside [{lo}, {hi}]")
+    if hi <= lo:
+        return HistogramPDF.point(lo)
+
+    def density(x: np.ndarray) -> np.ndarray:
+        left = np.where(
+            (x >= lo) & (x <= mode),
+            2.0 * (x - lo) / ((hi - lo) * (mode - lo)) if mode > lo else 0.0,
+            0.0,
+        )
+        right = np.where(
+            (x > mode) & (x <= hi),
+            2.0 * (hi - x) / ((hi - lo) * (hi - mode)) if hi > mode else 0.0,
+            0.0,
+        )
+        values = left + right
+        if mode == lo:
+            values = np.where(x <= lo, 0.0, 2.0 * (hi - x) / (hi - lo) ** 2)
+        elif mode == hi:
+            values = np.where(x >= hi, 0.0, 2.0 * (x - lo) / (hi - lo) ** 2)
+        return np.clip(values, 0.0, None)
+
+    return HistogramPDF.from_density(density, lo, hi, bins=bins)
+
+
+def gaussian_histogram(
+    mean: Number = 0.0,
+    std: Number = 1.0,
+    bins: int = 64,
+    clip_sigmas: float = 4.0,
+) -> HistogramPDF:
+    """Truncated Gaussian density over ``mean +/- clip_sigmas * std``."""
+    mean = float(mean)
+    std = float(std)
+    if std <= 0:
+        return HistogramPDF.point(mean)
+    if clip_sigmas <= 0:
+        raise HistogramError(f"clip_sigmas must be positive, got {clip_sigmas}")
+    lo = mean - clip_sigmas * std
+    hi = mean + clip_sigmas * std
+
+    def density(x: np.ndarray) -> np.ndarray:
+        z = (x - mean) / std
+        return np.exp(-0.5 * z * z)
+
+    return HistogramPDF.from_density(density, lo, hi, bins=bins)
+
+
+def quantization_error_histogram(
+    fractional_bits: int,
+    mode: str = "round",
+    bins: int = 16,
+) -> HistogramPDF:
+    """Quantization-error density for a format with ``fractional_bits``.
+
+    ``mode="round"`` (round-to-nearest) yields a zero-mean uniform density
+    over ``[-q/2, +q/2]``; ``mode="truncate"`` (two's-complement value
+    truncation) yields a uniform density over ``[-q, 0]`` with mean
+    ``-q/2``, where ``q = 2**-fractional_bits`` is the quantization step.
+    These are the classical error models of Oppenheim & Schafer (the
+    paper's reference [15]) expressed as histograms so they can be mixed
+    freely with measured PDFs.
+    """
+    step = ulp(int(fractional_bits))
+    mode = mode.lower()
+    if mode in ("round", "rounding", "round-to-nearest", "nearest"):
+        return HistogramPDF.uniform(-0.5 * step, 0.5 * step, bins=bins)
+    if mode in ("truncate", "truncation", "floor", "chop"):
+        return HistogramPDF.uniform(-step, 0.0, bins=bins)
+    raise HistogramError(f"unknown quantization mode {mode!r}")

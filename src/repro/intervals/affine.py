@@ -1,0 +1,299 @@
+"""Affine arithmetic (AA).
+
+An :class:`AffineForm` represents an uncertain value as
+
+``x = x0 + x1 * eps_1 + x2 * eps_2 + ... + xn * eps_n``
+
+where every noise symbol ``eps_i`` ranges over ``[-1, +1]``.  Affine
+forms keep *first-order* correlations between quantities that share noise
+symbols, which is what makes AA tighter than plain interval arithmetic on
+linear computations.  Nonlinear operations (multiplication, division)
+introduce a fresh noise symbol that soaks up the linearization error, at
+which point correlation information is lost — exactly the weakness the
+paper's quadratic example (Table 1) exposes and that Symbolic Noise
+Analysis addresses by keeping the full joint distribution instead.
+
+Noise-symbol identity is managed by an :class:`AffineContext`; forms built
+in the same context share symbols by name, so ``x - x`` is exactly zero
+while ``x * x`` (a nonlinear op) is not exactly ``x ** 2``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Mapping, Union
+
+from repro.errors import DivisionByZeroIntervalError, IntervalError
+from repro.intervals.interval import Interval
+
+__all__ = ["AffineContext", "AffineForm"]
+
+Number = Union[int, float]
+
+
+class AffineContext:
+    """Factory for noise-symbol names used by a family of affine forms.
+
+    A context hands out fresh, unique symbol names (``"u1"``, ``"u2"``,
+    ...) for the linearization terms created by nonlinear operations, and
+    lets callers register named input symbols (``"x"``, ``"a"``, ...).
+    Keeping symbol allocation in an explicit object (rather than a global
+    counter) makes analyses reproducible and lets tests run in isolation.
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+        self._known: set[str] = set()
+
+    def fresh(self, prefix: str = "u") -> str:
+        """Return a new, unique noise-symbol name with the given prefix."""
+        while True:
+            name = f"{prefix}{next(self._counter)}"
+            if name not in self._known:
+                self._known.add(name)
+                return name
+
+    def register(self, name: str) -> str:
+        """Register (idempotently) an externally chosen symbol name."""
+        self._known.add(name)
+        return name
+
+    @property
+    def symbols(self) -> frozenset[str]:
+        """All symbol names issued or registered so far."""
+        return frozenset(self._known)
+
+    # ------------------------------------------------------------------ #
+    # constructors for forms bound to this context
+    # ------------------------------------------------------------------ #
+    def constant(self, value: Number) -> "AffineForm":
+        """An affine form with no uncertainty."""
+        return AffineForm(float(value), {}, context=self)
+
+    def variable(self, name: str, lo: Number, hi: Number) -> "AffineForm":
+        """An input variable uniformly enclosed in ``[lo, hi]``.
+
+        The returned form is ``midpoint + radius * eps_name``.
+        """
+        lo = float(lo)
+        hi = float(hi)
+        if lo > hi:
+            raise IntervalError(f"invalid range for {name!r}: [{lo}, {hi}]")
+        self.register(name)
+        midpoint = 0.5 * (lo + hi)
+        radius = 0.5 * (hi - lo)
+        terms = {name: radius} if radius != 0.0 else {}
+        return AffineForm(midpoint, terms, context=self)
+
+    def from_interval(self, interval: Interval, name: str | None = None) -> "AffineForm":
+        """Wrap an :class:`Interval` as an affine form with one symbol."""
+        if name is None:
+            name = self.fresh()
+        return self.variable(name, interval.lo, interval.hi)
+
+
+_DEFAULT_CONTEXT = AffineContext()
+
+
+def default_context() -> AffineContext:
+    """The process-wide default :class:`AffineContext`."""
+    return _DEFAULT_CONTEXT
+
+
+class AffineForm:
+    """An affine combination of ``[-1, 1]`` noise symbols plus a constant."""
+
+    __slots__ = ("center", "terms", "context")
+
+    def __init__(
+        self,
+        center: Number,
+        terms: Mapping[str, Number] | None = None,
+        context: AffineContext | None = None,
+    ) -> None:
+        self.center = float(center)
+        self.context = context if context is not None else _DEFAULT_CONTEXT
+        cleaned: Dict[str, float] = {}
+        for name, coeff in (terms or {}).items():
+            coeff = float(coeff)
+            if coeff != 0.0:
+                cleaned[str(name)] = coeff
+                self.context.register(str(name))
+        self.terms = cleaned
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def radius(self) -> float:
+        """Total deviation ``sum(|x_i|)`` — half the enclosing width."""
+        return sum(abs(c) for c in self.terms.values())
+
+    def coefficient(self, name: str) -> float:
+        """Coefficient of noise symbol ``name`` (0 when absent)."""
+        return self.terms.get(name, 0.0)
+
+    def to_interval(self) -> Interval:
+        """The interval enclosure ``[center - radius, center + radius]``."""
+        radius = self.radius
+        return Interval(self.center - radius, self.center + radius)
+
+    def symbols(self) -> frozenset[str]:
+        """Noise symbols with a non-zero coefficient in this form."""
+        return frozenset(self.terms)
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> float:
+        """Evaluate the form for a concrete assignment of noise symbols.
+
+        Symbols absent from ``assignment`` are taken as 0; values are
+        clipped into ``[-1, 1]`` since that is the domain of a noise
+        symbol.
+        """
+        total = self.center
+        for name, coeff in self.terms.items():
+            eps = float(assignment.get(name, 0.0))
+            eps = max(-1.0, min(1.0, eps))
+            total += coeff * eps
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{self.center:g}"]
+        for name in sorted(self.terms):
+            parts.append(f"{self.terms[name]:+g}*{name}")
+        return f"AffineForm({' '.join(parts)})"
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _coerce(self, other: "AffineForm | Number") -> "AffineForm":
+        if isinstance(other, AffineForm):
+            return other
+        if isinstance(other, (int, float)):
+            return AffineForm(float(other), {}, context=self.context)
+        raise TypeError(f"cannot combine AffineForm with {type(other).__name__}")
+
+    def _merged_symbols(self, other: "AffineForm") -> Iterable[str]:
+        return set(self.terms) | set(other.terms)
+
+    # ------------------------------------------------------------------ #
+    # linear arithmetic (exact)
+    # ------------------------------------------------------------------ #
+    def __neg__(self) -> "AffineForm":
+        return AffineForm(-self.center, {k: -v for k, v in self.terms.items()}, self.context)
+
+    def __add__(self, other: "AffineForm | Number") -> "AffineForm":
+        other = self._coerce(other)
+        terms = {
+            name: self.coefficient(name) + other.coefficient(name)
+            for name in self._merged_symbols(other)
+        }
+        return AffineForm(self.center + other.center, terms, self.context)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "AffineForm | Number") -> "AffineForm":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: "AffineForm | Number") -> "AffineForm":
+        return self._coerce(other) - self
+
+    def scale(self, factor: Number) -> "AffineForm":
+        """Multiply by an exact scalar (no new noise symbol)."""
+        factor = float(factor)
+        return AffineForm(
+            self.center * factor,
+            {name: coeff * factor for name, coeff in self.terms.items()},
+            self.context,
+        )
+
+    def shift(self, offset: Number) -> "AffineForm":
+        """Add an exact scalar."""
+        return AffineForm(self.center + float(offset), dict(self.terms), self.context)
+
+    # ------------------------------------------------------------------ #
+    # nonlinear arithmetic (introduces fresh symbols)
+    # ------------------------------------------------------------------ #
+    def __mul__(self, other: "AffineForm | Number") -> "AffineForm":
+        if isinstance(other, (int, float)):
+            return self.scale(other)
+        other = self._coerce(other)
+        # Standard AA multiplication:
+        #   z0 = x0*y0
+        #   zi = x0*yi + y0*xi       (first-order terms)
+        #   new symbol with coefficient rad(x)*rad(y)  (second-order bound)
+        center = self.center * other.center
+        terms: Dict[str, float] = {}
+        for name in self._merged_symbols(other):
+            coeff = self.center * other.coefficient(name) + other.center * self.coefficient(name)
+            if coeff != 0.0:
+                terms[name] = coeff
+        nonlinear = self.radius * other.radius
+        if nonlinear != 0.0:
+            terms[self.context.fresh()] = nonlinear
+        return AffineForm(center, terms, self.context)
+
+    def __rmul__(self, other: "AffineForm | Number") -> "AffineForm":
+        return self * other
+
+    def square(self) -> "AffineForm":
+        """Dependency-aware square, tighter than ``self * self``.
+
+        Uses the min-range style approximation
+        ``(x0 + d)^2 = x0^2 + 2*x0*d + d^2`` with ``d^2`` in
+        ``[0, rad^2]`` re-centred as ``rad^2/2 +/- rad^2/2``.
+        """
+        rad = self.radius
+        terms = {name: 2.0 * self.center * coeff for name, coeff in self.terms.items()}
+        center = self.center * self.center + 0.5 * rad * rad
+        if rad != 0.0:
+            terms[self.context.fresh()] = 0.5 * rad * rad
+        return AffineForm(center, terms, self.context)
+
+    def reciprocal(self) -> "AffineForm":
+        """``1 / self`` via the Chebyshev (min-max) linear approximation."""
+        interval = self.to_interval()
+        if interval.contains(0.0):
+            raise DivisionByZeroIntervalError(f"cannot invert {self!r}: encloses zero")
+        a, b = interval.lo, interval.hi
+        if a > 0:
+            alpha = -1.0 / (a * b)
+            # Chebyshev approximation of 1/x over [a, b]
+            d_max = 1.0 / a - alpha * a
+            d_min = 1.0 / b - alpha * b
+        else:
+            alpha = -1.0 / (a * b)
+            d_max = 1.0 / b - alpha * b
+            d_min = 1.0 / a - alpha * a
+        zeta = 0.5 * (d_max + d_min)
+        delta = 0.5 * (d_max - d_min)
+        result = self.scale(alpha).shift(zeta)
+        if delta != 0.0:
+            terms = dict(result.terms)
+            terms[self.context.fresh()] = delta
+            result = AffineForm(result.center, terms, self.context)
+        return result
+
+    def __truediv__(self, other: "AffineForm | Number") -> "AffineForm":
+        if isinstance(other, (int, float)):
+            if other == 0:
+                raise DivisionByZeroIntervalError("division by zero scalar")
+            return self.scale(1.0 / float(other))
+        return self * self._coerce(other).reciprocal()
+
+    def __rtruediv__(self, other: "AffineForm | Number") -> "AffineForm":
+        return self._coerce(other) * self.reciprocal()
+
+    def __pow__(self, exponent: int) -> "AffineForm":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise IntervalError(f"only non-negative integer powers supported, got {exponent!r}")
+        if exponent == 0:
+            return AffineForm(1.0, {}, self.context)
+        if exponent == 1:
+            return AffineForm(self.center, dict(self.terms), self.context)
+        if exponent == 2:
+            return self.square()
+        # x^n = (x^2)^(n//2) for even n, and x * (x^2)^(n//2) for odd n.
+        half = self.square() ** (exponent // 2)
+        if exponent % 2 == 1:
+            return half * self
+        return half

@@ -1,0 +1,76 @@
+"""Helpers for comparing range-analysis enclosures against a reference.
+
+Used by the Table-1 benchmark and by the cross-method tests to quantify
+how much IA / AA / Taylor / SNA overestimate the true output range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import IntervalError
+from repro.intervals.interval import Interval
+
+__all__ = ["EnclosureReport", "overestimation_factor", "enclosure_comparison"]
+
+
+def overestimation_factor(estimate: Interval, reference: Interval) -> float:
+    """Width ratio ``estimate.width / reference.width``.
+
+    A sound enclosure has a factor >= 1; the closer to 1 the tighter the
+    method.  A degenerate (zero-width) reference yields ``inf`` unless the
+    estimate is also degenerate.
+    """
+    if reference.width == 0.0:
+        return 1.0 if estimate.width == 0.0 else float("inf")
+    return estimate.width / reference.width
+
+
+@dataclass(frozen=True)
+class EnclosureReport:
+    """One method's enclosure compared against the reference range."""
+
+    method: str
+    enclosure: Interval
+    reference: Interval
+    sound: bool
+    overestimation: float
+
+    def as_row(self) -> dict:
+        """Plain-dict view used by the reporting tables."""
+        return {
+            "method": self.method,
+            "lo": self.enclosure.lo,
+            "hi": self.enclosure.hi,
+            "width": self.enclosure.width,
+            "sound": self.sound,
+            "overestimation": self.overestimation,
+        }
+
+
+def enclosure_comparison(
+    enclosures: Mapping[str, Interval],
+    reference: Interval,
+    soundness_tol: float = 1e-9,
+) -> list[EnclosureReport]:
+    """Compare several named enclosures against a reference interval.
+
+    Returns one :class:`EnclosureReport` per method, ordered from widest
+    to tightest, flagging any method whose enclosure fails to contain the
+    reference (within ``soundness_tol``).
+    """
+    if not enclosures:
+        raise IntervalError("enclosure_comparison requires at least one enclosure")
+    reports = [
+        EnclosureReport(
+            method=name,
+            enclosure=interval,
+            reference=reference,
+            sound=interval.contains(reference, tol=soundness_tol),
+            overestimation=overestimation_factor(interval, reference),
+        )
+        for name, interval in enclosures.items()
+    ]
+    reports.sort(key=lambda report: report.enclosure.width, reverse=True)
+    return reports

@@ -1,0 +1,253 @@
+"""A small degree-2 Taylor-model arithmetic.
+
+A :class:`TaylorModel` encloses an uncertain quantity as a multivariate
+polynomial of degree at most two in noise symbols ``eps_i in [-1, 1]``
+plus an interval remainder that soundly bounds every discarded
+higher-order term:
+
+``x = c + sum_i a_i eps_i + sum_{i<=j} b_ij eps_i eps_j + R``.
+
+It sits between affine arithmetic (degree 1) and full symbolic noise
+analysis: quadratic dependencies such as ``x * x`` are represented
+exactly, while cubic and higher interactions fall into the remainder.
+The paper cites Taylor models (reference [10]) as one of the range
+representations SNA generalizes; this implementation is used as an
+additional baseline in the comparison benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple, Union
+
+from repro.errors import IntervalError
+from repro.intervals.interval import Interval
+
+__all__ = ["TaylorModel"]
+
+Number = Union[int, float]
+PairKey = Tuple[str, str]
+
+
+def _pair_key(a: str, b: str) -> PairKey:
+    return (a, b) if a <= b else (b, a)
+
+
+class TaylorModel:
+    """A degree-2 polynomial in ``[-1, 1]`` noise symbols with a remainder."""
+
+    __slots__ = ("constant", "linear", "quadratic", "remainder")
+
+    def __init__(
+        self,
+        constant: Number = 0.0,
+        linear: Mapping[str, Number] | None = None,
+        quadratic: Mapping[PairKey, Number] | None = None,
+        remainder: Interval | None = None,
+    ) -> None:
+        self.constant = float(constant)
+        self.linear: Dict[str, float] = {
+            str(k): float(v) for k, v in (linear or {}).items() if float(v) != 0.0
+        }
+        self.quadratic: Dict[PairKey, float] = {}
+        for key, value in (quadratic or {}).items():
+            value = float(value)
+            if value == 0.0:
+                continue
+            a, b = key
+            self.quadratic[_pair_key(str(a), str(b))] = self.quadratic.get(_pair_key(str(a), str(b)), 0.0) + value
+        self.remainder = remainder if remainder is not None else Interval.point(0.0)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def constant_model(cls, value: Number) -> "TaylorModel":
+        """A model with no uncertainty at all."""
+        return cls(constant=value)
+
+    @classmethod
+    def variable(cls, name: str, lo: Number, hi: Number) -> "TaylorModel":
+        """A model for an input ranging over ``[lo, hi]``: ``mid + rad*eps``."""
+        lo = float(lo)
+        hi = float(hi)
+        if lo > hi:
+            raise IntervalError(f"invalid range for {name!r}: [{lo}, {hi}]")
+        return cls(constant=0.5 * (lo + hi), linear={name: 0.5 * (hi - lo)})
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def symbols(self) -> frozenset[str]:
+        """All noise symbols appearing in the polynomial part."""
+        names = set(self.linear)
+        for a, b in self.quadratic:
+            names.add(a)
+            names.add(b)
+        return frozenset(names)
+
+    def bound(self) -> Interval:
+        """A sound interval enclosure of the model.
+
+        Linear terms contribute ``+/- |a_i|``; diagonal quadratic terms
+        ``b_ii * eps_i^2`` contribute ``[0, b_ii]`` (or ``[b_ii, 0]``);
+        off-diagonal terms contribute ``+/- |b_ij|``; the remainder is
+        added verbatim.  This keeps the ``x**2 >= 0`` information that
+        plain AA loses.
+        """
+        result = Interval.point(self.constant)
+        for coeff in self.linear.values():
+            result = result + Interval(-abs(coeff), abs(coeff))
+        for (a, b), coeff in self.quadratic.items():
+            if a == b:
+                result = result + Interval.point(coeff) * Interval(0.0, 1.0)
+            else:
+                result = result + Interval(-abs(coeff), abs(coeff))
+        return result + self.remainder
+
+    def evaluate(self, assignment: Mapping[str, Number]) -> Interval:
+        """Evaluate for concrete noise-symbol values, keeping the remainder."""
+        total = self.constant
+        for name, coeff in self.linear.items():
+            total += coeff * float(assignment.get(name, 0.0))
+        for (a, b), coeff in self.quadratic.items():
+            total += coeff * float(assignment.get(a, 0.0)) * float(assignment.get(b, 0.0))
+        return self.remainder.shift(total)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [f"{self.constant:g}"]
+        for name in sorted(self.linear):
+            parts.append(f"{self.linear[name]:+g}*{name}")
+        for (a, b) in sorted(self.quadratic):
+            parts.append(f"{self.quadratic[(a, b)]:+g}*{a}*{b}")
+        return f"TaylorModel({' '.join(parts)} + R{self.remainder})"
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def _coerce(self, other: "TaylorModel | Number") -> "TaylorModel":
+        if isinstance(other, TaylorModel):
+            return other
+        if isinstance(other, (int, float)):
+            return TaylorModel.constant_model(other)
+        raise TypeError(f"cannot combine TaylorModel with {type(other).__name__}")
+
+    def __neg__(self) -> "TaylorModel":
+        return TaylorModel(
+            -self.constant,
+            {k: -v for k, v in self.linear.items()},
+            {k: -v for k, v in self.quadratic.items()},
+            -self.remainder,
+        )
+
+    def __add__(self, other: "TaylorModel | Number") -> "TaylorModel":
+        other = self._coerce(other)
+        linear = dict(self.linear)
+        for name, coeff in other.linear.items():
+            linear[name] = linear.get(name, 0.0) + coeff
+        quadratic = dict(self.quadratic)
+        for key, coeff in other.quadratic.items():
+            quadratic[key] = quadratic.get(key, 0.0) + coeff
+        return TaylorModel(
+            self.constant + other.constant,
+            linear,
+            quadratic,
+            self.remainder + other.remainder,
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "TaylorModel | Number") -> "TaylorModel":
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other: "TaylorModel | Number") -> "TaylorModel":
+        return self._coerce(other) - self
+
+    def scale(self, factor: Number) -> "TaylorModel":
+        """Multiply by an exact scalar."""
+        factor = float(factor)
+        return TaylorModel(
+            self.constant * factor,
+            {k: v * factor for k, v in self.linear.items()},
+            {k: v * factor for k, v in self.quadratic.items()},
+            self.remainder.scale(factor),
+        )
+
+    def __mul__(self, other: "TaylorModel | Number") -> "TaylorModel":
+        if isinstance(other, (int, float)):
+            return self.scale(other)
+        other = self._coerce(other)
+
+        constant = self.constant * other.constant
+        linear: Dict[str, float] = {}
+        quadratic: Dict[PairKey, float] = {}
+        remainder = Interval.point(0.0)
+
+        # constant x polynomial cross terms
+        for name, coeff in other.linear.items():
+            linear[name] = linear.get(name, 0.0) + self.constant * coeff
+        for name, coeff in self.linear.items():
+            linear[name] = linear.get(name, 0.0) + other.constant * coeff
+        for key, coeff in other.quadratic.items():
+            quadratic[key] = quadratic.get(key, 0.0) + self.constant * coeff
+        for key, coeff in self.quadratic.items():
+            quadratic[key] = quadratic.get(key, 0.0) + other.constant * coeff
+
+        # linear x linear  ->  quadratic terms (kept exactly)
+        for name_a, coeff_a in self.linear.items():
+            for name_b, coeff_b in other.linear.items():
+                key = _pair_key(name_a, name_b)
+                quadratic[key] = quadratic.get(key, 0.0) + coeff_a * coeff_b
+
+        # linear x quadratic and quadratic x quadratic are degree >= 3:
+        # bound them into the remainder with |eps| <= 1.
+        def _poly_abs_bound(linear_terms: Mapping[str, float], quad_terms: Mapping[PairKey, float]) -> float:
+            return sum(abs(v) for v in linear_terms.values()) + sum(abs(v) for v in quad_terms.values())
+
+        cross_hi = (
+            _poly_abs_bound(self.linear, {}) * _poly_abs_bound({}, other.quadratic)
+            + _poly_abs_bound(other.linear, {}) * _poly_abs_bound({}, self.quadratic)
+            + _poly_abs_bound({}, self.quadratic) * _poly_abs_bound({}, other.quadratic)
+        )
+        if cross_hi != 0.0:
+            remainder = remainder + Interval(-cross_hi, cross_hi)
+
+        # remainder interactions: R_x * (anything of y) and vice versa
+        y_bound = other.bound_polynomial_only()
+        x_bound = self.bound_polynomial_only()
+        remainder = remainder + self.remainder * y_bound + other.remainder * x_bound
+        remainder = remainder + self.remainder * other.remainder
+
+        return TaylorModel(constant, linear, quadratic, remainder)
+
+    def __rmul__(self, other: "TaylorModel | Number") -> "TaylorModel":
+        return self * other
+
+    def bound_polynomial_only(self) -> Interval:
+        """Interval bound of the polynomial part, ignoring the remainder."""
+        result = Interval.point(self.constant)
+        for coeff in self.linear.values():
+            result = result + Interval(-abs(coeff), abs(coeff))
+        for (a, b), coeff in self.quadratic.items():
+            if a == b:
+                result = result + Interval.point(coeff) * Interval(0.0, 1.0)
+            else:
+                result = result + Interval(-abs(coeff), abs(coeff))
+        return result
+
+    def square(self) -> "TaylorModel":
+        """``self * self`` — the shared symbols keep the dependency."""
+        return self * self
+
+    def __pow__(self, exponent: int) -> "TaylorModel":
+        if not isinstance(exponent, int) or exponent < 0:
+            raise IntervalError(f"only non-negative integer powers supported, got {exponent!r}")
+        result = TaylorModel.constant_model(1.0)
+        base = self
+        power = exponent
+        while power:
+            if power & 1:
+                result = result * base
+            power >>= 1
+            if power:
+                base = base * base
+        return result

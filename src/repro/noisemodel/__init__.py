@@ -1,0 +1,23 @@
+"""Quantization-noise modelling of fixed-point datapaths.
+
+This package turns a dataflow graph plus a word-length assignment into a
+set of noise symbols (one per quantization point), computes how each
+symbol is transferred to the outputs, and composes the per-source PDFs
+into the output error distribution — the datapath-level application of
+Symbolic Noise Analysis that drives the word-length optimizer.
+"""
+
+from repro.noisemodel.assignment import WordLengthAssignment
+from repro.noisemodel.gains import GainProfile, transfer_gains
+from repro.noisemodel.sources import QuantizationSource, build_sources
+from repro.noisemodel.analyzer import DatapathNoiseAnalyzer, NoiseReport
+
+__all__ = [
+    "WordLengthAssignment",
+    "QuantizationSource",
+    "build_sources",
+    "GainProfile",
+    "transfer_gains",
+    "DatapathNoiseAnalyzer",
+    "NoiseReport",
+]

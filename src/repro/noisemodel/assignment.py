@@ -1,0 +1,153 @@
+"""Word-length assignments: the decision variables of the optimization.
+
+A :class:`WordLengthAssignment` records, for every signal (node) of a
+dataflow graph, its fixed-point format together with the quantization and
+overflow modes.  It is the object the optimizers mutate, the noise
+analyzer consumes, and the HLS cost model prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping
+
+from repro.dfg.graph import DFG
+from repro.dfg.node import OpType
+from repro.errors import NoiseModelError
+from repro.fixedpoint.format import FixedPointFormat, OverflowMode, QuantizationMode
+from repro.intervals.interval import Interval
+from repro.utils.mathutils import integer_bits_for_range
+
+__all__ = ["WordLengthAssignment"]
+
+
+@dataclass
+class WordLengthAssignment:
+    """Per-node fixed-point formats plus global quantization/overflow modes."""
+
+    formats: Dict[str, FixedPointFormat] = field(default_factory=dict)
+    quantization: QuantizationMode = QuantizationMode.ROUND
+    overflow: OverflowMode = OverflowMode.SATURATE
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def uniform(
+        cls,
+        graph: DFG,
+        word_length: int,
+        ranges: Mapping[str, Interval],
+        quantization: QuantizationMode | str = QuantizationMode.ROUND,
+        overflow: OverflowMode | str = OverflowMode.SATURATE,
+        signed: bool = True,
+    ) -> "WordLengthAssignment":
+        """The paper's baseline: the same total word length everywhere.
+
+        Every quantized node receives ``word_length`` total bits.  The
+        integer part is the *minimum* needed for that node's own range (so
+        the baseline never overflows), and whatever remains becomes
+        fractional precision.  A node whose range alone needs more integer
+        bits than ``word_length`` raises — the uniform design would
+        overflow, so the requested word length is simply too small.
+        """
+        formats: Dict[str, FixedPointFormat] = {}
+        for node in graph:
+            if node.op is OpType.OUTPUT:
+                continue
+            if node.name not in ranges:
+                continue
+            interval = ranges[node.name]
+            integer_bits = integer_bits_for_range(interval.lo, interval.hi, signed=signed)
+            if integer_bits > word_length:
+                raise NoiseModelError(
+                    f"node {node.name!r} needs {integer_bits} integer bits but the uniform "
+                    f"word length is only {word_length}"
+                )
+            formats[node.name] = FixedPointFormat(
+                integer_bits=integer_bits,
+                fractional_bits=word_length - integer_bits,
+                signed=signed,
+            )
+        return cls(
+            formats=formats,
+            quantization=QuantizationMode.coerce(quantization),
+            overflow=OverflowMode.coerce(overflow),
+        )
+
+    @classmethod
+    def from_fractional_bits(
+        cls,
+        graph: DFG,
+        fractional_bits: Mapping[str, int],
+        ranges: Mapping[str, Interval],
+        quantization: QuantizationMode | str = QuantizationMode.ROUND,
+        overflow: OverflowMode | str = OverflowMode.SATURATE,
+        signed: bool = True,
+    ) -> "WordLengthAssignment":
+        """Build formats from per-node fractional bits plus range-derived integer bits."""
+        formats: Dict[str, FixedPointFormat] = {}
+        for name, frac in fractional_bits.items():
+            if name not in ranges:
+                raise NoiseModelError(f"no range available for node {name!r}")
+            interval = ranges[name]
+            integer_bits = integer_bits_for_range(interval.lo, interval.hi, signed=signed)
+            formats[name] = FixedPointFormat(integer_bits, int(frac), signed)
+        return cls(
+            formats=formats,
+            quantization=QuantizationMode.coerce(quantization),
+            overflow=OverflowMode.coerce(overflow),
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries and updates
+    # ------------------------------------------------------------------ #
+    def format_of(self, name: str) -> FixedPointFormat:
+        """Format of a node; raises when the node carries no format."""
+        try:
+            return self.formats[name]
+        except KeyError as exc:
+            raise NoiseModelError(f"node {name!r} has no fixed-point format") from exc
+
+    def fractional_bits(self) -> Dict[str, int]:
+        """Per-node fractional bit counts."""
+        return {name: fmt.fractional_bits for name, fmt in self.formats.items()}
+
+    def word_lengths(self) -> Dict[str, int]:
+        """Per-node total word lengths."""
+        return {name: fmt.word_length for name, fmt in self.formats.items()}
+
+    def total_bits(self) -> int:
+        """Sum of all word lengths (a crude but monotone cost proxy)."""
+        return sum(fmt.word_length for fmt in self.formats.values())
+
+    def max_word_length(self) -> int:
+        """Largest word length in the assignment."""
+        return max((fmt.word_length for fmt in self.formats.values()), default=0)
+
+    def with_fractional_bits(self, name: str, fractional_bits: int) -> "WordLengthAssignment":
+        """A copy with one node's fractional precision replaced."""
+        if fractional_bits < 0:
+            raise NoiseModelError(f"fractional bits must be >= 0, got {fractional_bits}")
+        formats = dict(self.formats)
+        formats[name] = self.format_of(name).with_fractional_bits(fractional_bits)
+        return WordLengthAssignment(formats, self.quantization, self.overflow)
+
+    def copy(self) -> "WordLengthAssignment":
+        """A shallow copy safe to mutate independently."""
+        return WordLengthAssignment(dict(self.formats), self.quantization, self.overflow)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.formats)
+
+    def __len__(self) -> int:
+        return len(self.formats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.formats:
+            return "WordLengthAssignment(empty)"
+        lengths = sorted(fmt.word_length for fmt in self.formats.values())
+        return (
+            f"WordLengthAssignment(nodes={len(self.formats)}, "
+            f"W in [{lengths[0]}, {lengths[-1]}], mode={self.quantization.value})"
+        )

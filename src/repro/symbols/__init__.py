@@ -1,0 +1,31 @@
+"""Noise symbols, symbolic expressions and the SNA propagation algorithm.
+
+This package implements Section 4 of the paper:
+
+* :class:`NoiseSymbol` — a bounded random value with an arbitrary
+  histogram PDF (the ``eps_i`` of Equation (1));
+* :class:`Expression` / :class:`Polynomial` / :class:`RationalExpression`
+  — the "fractional function of polynomials" that relates a datapath
+  value to its noise symbols;
+* :class:`CartesianPropagator` — the Cartesian-product-of-bins algorithm
+  that turns symbol PDFs into the output PDF (the SNA core);
+* :class:`SequentialPropagator` — node-by-node histogram arithmetic,
+  cheaper but blind to dependencies, used for ablation comparisons.
+"""
+
+from repro.symbols.cartesian import CartesianPropagator, PropagationResult, SequentialPropagator
+from repro.symbols.expression import Constant, Expression, Polynomial, RationalExpression, Symbol
+from repro.symbols.noise_symbol import NoiseSymbol, SymbolTable
+
+__all__ = [
+    "NoiseSymbol",
+    "SymbolTable",
+    "Expression",
+    "Symbol",
+    "Constant",
+    "Polynomial",
+    "RationalExpression",
+    "CartesianPropagator",
+    "SequentialPropagator",
+    "PropagationResult",
+]

@@ -1,0 +1,136 @@
+"""Noise symbols: bounded random values with attached histogram PDFs.
+
+A noise symbol is the elementary carrier of uncertainty in SNA.  The
+paper normalizes every symbol to the range ``[-1, +1]`` and attaches a
+PDF discretized into ``2**(l+1)`` bins; this implementation keeps the
+same convention by default but allows arbitrary supports, because the
+datapath noise models are more naturally expressed on their native scale
+(e.g. a truncation error living on ``[-2**-f, 0]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping
+
+from repro.errors import SymbolError
+from repro.histogram.pdf import HistogramPDF
+from repro.intervals.interval import Interval
+
+__all__ = ["NoiseSymbol", "SymbolTable"]
+
+
+@dataclass(frozen=True)
+class NoiseSymbol:
+    """A named bounded random value with a histogram PDF.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier of the symbol inside a :class:`SymbolTable` or
+        an expression.
+    pdf:
+        The histogram PDF describing how the symbol is distributed over
+        its support.
+    source:
+        Free-form provenance tag ("input x", "quantization at node mul_3",
+        "measured ADC noise", ...) used in reports.
+    """
+
+    name: str
+    pdf: HistogramPDF
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SymbolError("noise symbol name must be non-empty")
+
+    @property
+    def support(self) -> Interval:
+        """The interval the symbol ranges over."""
+        return self.pdf.support
+
+    @property
+    def mean(self) -> float:
+        """Expected value of the symbol."""
+        return self.pdf.mean()
+
+    @property
+    def variance(self) -> float:
+        """Variance of the symbol."""
+        return self.pdf.variance()
+
+    def with_granularity(self, bins: int) -> "NoiseSymbol":
+        """Return a copy whose PDF is re-discretized to ``bins`` bins."""
+        return NoiseSymbol(self.name, self.pdf.rebin(bins), self.source)
+
+    @classmethod
+    def uniform(cls, name: str, lo: float = -1.0, hi: float = 1.0, bins: int = 16, source: str = "") -> "NoiseSymbol":
+        """A symbol uniformly distributed over ``[lo, hi]``."""
+        return cls(name, HistogramPDF.uniform(lo, hi, bins=bins), source)
+
+    @classmethod
+    def from_interval(cls, name: str, interval: Interval, bins: int = 16, source: str = "") -> "NoiseSymbol":
+        """A symbol uniformly distributed over an :class:`Interval`.
+
+        This is the probabilistic reading of an interval operand that the
+        paper builds on: a value known only to lie in a range is treated
+        as uniform over that range (Section 4, Equation (2)).
+        """
+        return cls(name, HistogramPDF.uniform(interval.lo, interval.hi, bins=bins), source)
+
+
+class SymbolTable:
+    """An ordered, name-unique collection of noise symbols."""
+
+    def __init__(self, symbols: Iterable[NoiseSymbol] = ()) -> None:
+        self._symbols: Dict[str, NoiseSymbol] = {}
+        for symbol in symbols:
+            self.add(symbol)
+
+    def add(self, symbol: NoiseSymbol) -> NoiseSymbol:
+        """Add a symbol; duplicate names raise :class:`SymbolError`."""
+        if symbol.name in self._symbols:
+            raise SymbolError(f"duplicate noise symbol {symbol.name!r}")
+        self._symbols[symbol.name] = symbol
+        return symbol
+
+    def add_uniform(self, name: str, lo: float = -1.0, hi: float = 1.0, bins: int = 16, source: str = "") -> NoiseSymbol:
+        """Create and register a uniform symbol in one call."""
+        return self.add(NoiseSymbol.uniform(name, lo, hi, bins=bins, source=source))
+
+    def get(self, name: str) -> NoiseSymbol:
+        """Look a symbol up by name."""
+        try:
+            return self._symbols[name]
+        except KeyError as exc:
+            raise SymbolError(f"unknown noise symbol {name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self) -> Iterator[NoiseSymbol]:
+        return iter(self._symbols.values())
+
+    def names(self) -> list[str]:
+        """Symbol names in insertion order."""
+        return list(self._symbols)
+
+    def pdfs(self) -> Mapping[str, HistogramPDF]:
+        """Mapping from symbol name to its PDF."""
+        return {name: symbol.pdf for name, symbol in self._symbols.items()}
+
+    def supports(self) -> Mapping[str, Interval]:
+        """Mapping from symbol name to its support interval."""
+        return {name: symbol.support for name, symbol in self._symbols.items()}
+
+    def with_granularity(self, bins: int) -> "SymbolTable":
+        """A new table with every symbol re-discretized to ``bins`` bins."""
+        return SymbolTable(symbol.with_granularity(bins) for symbol in self)
+
+    def subset(self, names: Iterable[str]) -> "SymbolTable":
+        """A new table restricted to the given names (order preserved)."""
+        return SymbolTable(self.get(name) for name in names)

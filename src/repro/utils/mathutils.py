@@ -1,0 +1,102 @@
+"""Numeric helpers shared by the fixed-point, HLS and optimization layers."""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "clog2",
+    "flog2",
+    "next_power_of_two",
+    "is_power_of_two",
+    "sign",
+    "ulp",
+    "integer_bits_for_range",
+    "lcm",
+]
+
+
+def clog2(value: float) -> int:
+    """Return ``ceil(log2(value))`` for a strictly positive value.
+
+    ``clog2(1)`` is 0, ``clog2(2)`` is 1, ``clog2(3)`` is 2.  This is the
+    usual "number of bits needed to index ``value`` distinct items" helper
+    used in hardware sizing.
+    """
+    if value <= 0:
+        raise ValueError(f"clog2 requires a positive value, got {value!r}")
+    return int(math.ceil(math.log2(value)))
+
+
+def flog2(value: float) -> int:
+    """Return ``floor(log2(value))`` for a strictly positive value."""
+    if value <= 0:
+        raise ValueError(f"flog2 requires a positive value, got {value!r}")
+    return int(math.floor(math.log2(value)))
+
+
+def next_power_of_two(value: int) -> int:
+    """Return the smallest power of two greater than or equal to ``value``."""
+    if value <= 0:
+        raise ValueError(f"next_power_of_two requires a positive value, got {value!r}")
+    return 1 << clog2(value)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive integer power of two."""
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def sign(value: float) -> int:
+    """Return -1, 0 or +1 according to the sign of ``value``."""
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+def ulp(fractional_bits: int) -> float:
+    """Return the weight of the least significant bit, ``2 ** -f``.
+
+    The unit-in-the-last-place of a fixed-point format with ``f``
+    fractional bits.  ``f`` may be negative (the LSB then weighs more than
+    one).
+    """
+    return 2.0 ** (-fractional_bits)
+
+
+def integer_bits_for_range(lo: float, hi: float, signed: bool = True) -> int:
+    """Number of integer bits needed to represent all values in ``[lo, hi]``.
+
+    For a signed two's-complement format with ``i`` integer bits (sign bit
+    included) the representable integer range is ``[-2**(i-1), 2**(i-1))``.
+    For an unsigned format it is ``[0, 2**i)``.  The returned count is the
+    smallest ``i`` whose range covers ``[lo, hi]``; a degenerate range
+    around zero still needs one bit (the sign bit for signed formats).
+    """
+    if lo > hi:
+        raise ValueError(f"invalid range: lo={lo} > hi={hi}")
+    if not signed and lo < 0:
+        raise ValueError("unsigned format cannot represent negative values")
+    magnitude = max(abs(lo), abs(hi))
+    if magnitude == 0:
+        return 1
+    if signed:
+        # i integer bits (sign included) cover [-2**(i-1), 2**(i-1)].
+        bits = 1
+        while magnitude > 2.0 ** (bits - 1):
+            bits += 1
+        return bits
+    # i unsigned integer bits cover [0, 2**i].
+    bits = 1
+    while magnitude > 2.0 ** bits:
+        bits += 1
+    return bits
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two positive integers."""
+    if a <= 0 or b <= 0:
+        raise ValueError("lcm requires positive integers")
+    return a * b // math.gcd(a, b)

@@ -1,0 +1,66 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+__all__ = [
+    "check_finite",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "check_in_range",
+    "check_type",
+]
+
+
+def check_finite(value: float, name: str = "value") -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite real number."""
+    value = float(value)
+    if math.isnan(value) or math.isinf(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    value = check_finite(value, name)
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str = "value") -> int:
+    """Raise ``ValueError`` unless ``value`` is a strictly positive integer."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str = "probability") -> float:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]``."""
+    value = check_finite(value, name)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(value: float, lo: float, hi: float, name: str = "value") -> float:
+    """Raise ``ValueError`` unless ``lo <= value <= hi``."""
+    value = check_finite(value, name)
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_type(value: Any, types: type | tuple[type, ...] | Iterable[type], name: str = "value") -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(types, tuple):
+        types = tuple(types) if isinstance(types, (list, set)) else (types,)
+    if not isinstance(value, types):
+        expected = ", ".join(t.__name__ for t in types)
+        raise TypeError(f"{name} must be of type {expected}, got {type(value).__name__}")
+    return value
