@@ -1,0 +1,28 @@
+"""Reproduction of Symbolic Noise Analysis for fixed-point datapaths.
+
+Subpackages
+-----------
+``intervals``
+    Interval, affine and Taylor-model arithmetic (the baselines).
+``histogram``
+    Histogram (discretized PDF) arithmetic — the SNA numeric core.
+``symbols``
+    Noise symbols, symbolic expressions, Cartesian propagation.
+``fixedpoint``
+    Formats, quantization and bit-true value handling.
+``dfg``
+    Dataflow graphs: builders, simulators (scalar and batched),
+    range analysis, sequential unrolling.
+``noisemodel``
+    Word-length assignments, quantization sources, transfer gains and
+    the per-method datapath noise analyzer.
+``analysis``
+    The end-to-end :class:`~repro.analysis.pipeline.NoiseAnalysisPipeline`
+    with Monte-Carlo validation and structured reports.
+``benchmarks``
+    The benchmark circuit library and the timed benchmark driver.
+"""
+
+__version__ = "0.2.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,23 @@
+"""End-to-end noise analysis: pipeline, reports and Monte-Carlo validation.
+
+This package is the user-facing entry point of the reproduction.  It
+takes a computation (symbolic expression or dataflow graph), a
+word-length assignment, and produces a structured
+:class:`~repro.analysis.report.AnalysisReport` comparing interval
+arithmetic, affine arithmetic, Taylor models, Symbolic Noise Analysis and
+Monte-Carlo simulation on the same fixed-point design — the experiment
+at the heart of the paper, packaged as one call.
+"""
+
+from repro.analysis.montecarlo import MonteCarloResult, monte_carlo_error
+from repro.analysis.pipeline import ALL_METHODS, NoiseAnalysisPipeline
+from repro.analysis.report import AnalysisReport, MethodResult
+
+__all__ = [
+    "NoiseAnalysisPipeline",
+    "ALL_METHODS",
+    "AnalysisReport",
+    "MethodResult",
+    "MonteCarloResult",
+    "monte_carlo_error",
+]

@@ -1,0 +1,335 @@
+"""The end-to-end noise-analysis pipeline.
+
+:class:`NoiseAnalysisPipeline` wires the whole paper experiment into one
+call::
+
+    pipeline = NoiseAnalysisPipeline(word_length=12)
+    report = pipeline.analyze(expr_or_dfg, input_ranges={"x": (-4, 3)})
+
+which runs, in order:
+
+1. expression lowering (symbolic :class:`~repro.symbols.expression.Expression`
+   inputs become dataflow graphs);
+2. interval range analysis (integer-bit sizing, fixpoint-iterated for
+   feedback designs);
+3. word-length assignment (a caller-provided
+   :class:`~repro.noisemodel.assignment.WordLengthAssignment` or the
+   paper's uniform baseline), with a coverage pass that widens any format
+   whose representable range would clip its node's value range;
+4. per-method error propagation (``ia`` / ``aa`` / ``taylor`` / ``sna``
+   via :class:`~repro.noisemodel.analyzer.DatapathNoiseAnalyzer`) and/or
+   the vectorized ``montecarlo`` validator;
+5. report assembly: per-node ranges and formats, per-method error
+   bounds / moments / SNR / runtime, and Monte-Carlo enclosure verdicts.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+
+from repro.analysis.montecarlo import MonteCarloResult, monte_carlo_error
+from repro.analysis.report import AnalysisReport, MethodResult
+from repro.dfg.builder import expression_to_dfg
+from repro.dfg.graph import DFG
+from repro.dfg.range_analysis import infer_ranges
+from repro.errors import NoiseModelError
+from repro.histogram.pdf import HistogramPDF
+from repro.intervals.interval import Interval
+from repro.noisemodel.analyzer import ANALYSIS_METHODS, DatapathNoiseAnalyzer
+from repro.noisemodel.assignment import WordLengthAssignment
+from repro.symbols.expression import Expression
+
+__all__ = ["NoiseAnalysisPipeline", "ALL_METHODS"]
+
+#: Every method the pipeline knows how to run, in canonical order.
+ALL_METHODS = ANALYSIS_METHODS + ("montecarlo",)
+
+RangeLike = Union[Interval, Tuple[float, float], Sequence[float]]
+
+
+def _as_interval(value: RangeLike) -> Interval:
+    if isinstance(value, Interval):
+        return value
+    lo, hi = value
+    return Interval(float(lo), float(hi))
+
+
+def _uniform_power(interval: Interval) -> float:
+    """``E[y^2]`` of a value uniform over ``interval`` (signal-power proxy)."""
+    lo, hi = interval.lo, interval.hi
+    return (lo * lo + lo * hi + hi * hi) / 3.0
+
+
+class NoiseAnalysisPipeline:
+    """One-call orchestration of range analysis, noise models and MC.
+
+    Parameters
+    ----------
+    word_length:
+        Uniform word length used when no explicit assignment is given.
+    horizon:
+        Unrolling depth / simulated steps for sequential designs.
+    bins:
+        Histogram granularity of the SNA method.
+    mc_samples:
+        Sample count of the Monte-Carlo validator.
+    seed:
+        Seed of the Monte-Carlo RNG (runs are reproducible by default).
+    enclosure_tol:
+        Absolute slack allowed when judging whether sampled errors fall
+        inside analytic bounds (guards against float round-off in the
+        comparison itself, not against unsound bounds).
+    """
+
+    def __init__(
+        self,
+        word_length: int = 12,
+        horizon: int = 8,
+        bins: int = 32,
+        mc_samples: int = 20_000,
+        seed: int | None = 0,
+        enclosure_tol: float = 1e-12,
+    ) -> None:
+        if word_length < 2:
+            raise NoiseModelError(f"word_length must be >= 2, got {word_length}")
+        if horizon < 1:
+            raise NoiseModelError(f"horizon must be >= 1, got {horizon}")
+        self.word_length = int(word_length)
+        self.horizon = int(horizon)
+        self.bins = int(bins)
+        self.mc_samples = int(mc_samples)
+        self.seed = seed
+        self.enclosure_tol = float(enclosure_tol)
+
+    # ------------------------------------------------------------------ #
+    def analyze(
+        self,
+        circuit: Expression | DFG,
+        assignment: WordLengthAssignment | None = None,
+        method: str | Iterable[str] | None = None,
+        *,
+        input_ranges: Mapping[str, RangeLike] | None = None,
+        input_pdfs: Mapping[str, HistogramPDF] | None = None,
+        output: str | None = None,
+        name: str | None = None,
+    ) -> AnalysisReport:
+        """Analyze one circuit and return a full :class:`AnalysisReport`.
+
+        Parameters
+        ----------
+        circuit:
+            A symbolic :class:`Expression`, a :class:`DFG`, or any object
+            exposing ``graph`` and ``input_ranges`` attributes (e.g. a
+            benchmark circuit).
+        assignment:
+            Word-length assignment; defaults to the uniform baseline at
+            the pipeline's ``word_length``.
+        method:
+            One method name, an iterable of names, or ``None`` for all of
+            ``ia, aa, taylor, sna, montecarlo``.
+        input_ranges:
+            Range per input (``Interval`` or ``(lo, hi)``).  Required
+            unless ``circuit`` carries its own.
+        input_pdfs:
+            Optional input distributions for SNA and Monte-Carlo.
+        output:
+            Which output to analyze for multi-output designs (the first
+            output by default).
+        """
+        graph, ranges_in = self._coerce_circuit(circuit, input_ranges, name)
+        methods = self._coerce_methods(method)
+
+        range_result = infer_ranges(graph, ranges_in)
+        if not range_result.converged:
+            raise NoiseModelError(
+                f"range analysis of {graph.name!r} did not converge after "
+                f"{range_result.iterations} iterations (unstable feedback?)"
+            )
+        ranges = range_result.ranges
+
+        if assignment is None:
+            assignment = WordLengthAssignment.uniform(graph, self.word_length, ranges)
+        assignment = self._ensure_coverage(assignment, ranges)
+
+        out_node = self._resolve_output(graph, output)
+        signal_power = _uniform_power(ranges[out_node])
+
+        analyzer: DatapathNoiseAnalyzer | None = None
+        results: Dict[str, MethodResult] = {}
+        mc_result: MonteCarloResult | None = None
+
+        for method_name in methods:
+            started = time.perf_counter()
+            if method_name == "montecarlo":
+                mc_result = monte_carlo_error(
+                    graph,
+                    assignment,
+                    ranges_in,
+                    samples=self.mc_samples,
+                    steps=self.horizon,
+                    input_pdfs=input_pdfs,
+                    output=out_node,
+                    rng=self.seed,
+                )
+                elapsed = time.perf_counter() - started
+                noise_power = mc_result.noise_power
+                snr = (
+                    10.0 * math.log10(signal_power / noise_power)
+                    if noise_power > 0 and signal_power > 0
+                    else float("inf")
+                )
+                results[method_name] = MethodResult(
+                    method="montecarlo",
+                    lower=mc_result.lower,
+                    upper=mc_result.upper,
+                    mean=mc_result.mean,
+                    variance=mc_result.variance,
+                    noise_power=noise_power,
+                    snr_db=snr,
+                    runtime_s=elapsed,
+                    extra={"samples": float(mc_result.samples), "steps": float(mc_result.steps)},
+                )
+            else:
+                if analyzer is None:
+                    analyzer = DatapathNoiseAnalyzer(
+                        graph,
+                        assignment,
+                        ranges_in,
+                        input_pdfs=input_pdfs,
+                        horizon=self.horizon,
+                        bins=self.bins,
+                    )
+                    started = time.perf_counter()
+                report = analyzer.analyze(method_name, output=output)
+                elapsed = time.perf_counter() - started
+                results[method_name] = MethodResult(
+                    method=method_name,
+                    lower=report.bounds.lo,
+                    upper=report.bounds.hi,
+                    mean=report.mean,
+                    variance=report.variance,
+                    noise_power=report.noise_power,
+                    snr_db=report.snr_db(signal_power),
+                    runtime_s=elapsed,
+                )
+
+        enclosure: Dict[str, bool] = {}
+        if mc_result is not None:
+            for method_name, result in results.items():
+                if method_name == "montecarlo":
+                    continue
+                enclosure[method_name] = mc_result.enclosed_by(
+                    result.bounds, tol=self.enclosure_tol
+                )
+
+        return AnalysisReport(
+            circuit=name or graph.name,
+            output=out_node,
+            node_count=len(graph),
+            op_counts={op.value: count for op, count in graph.op_histogram().items()},
+            sequential=graph.is_sequential,
+            horizon=self.horizon if graph.is_sequential else 1,
+            word_length=self.word_length,
+            total_bits=assignment.total_bits(),
+            ranges={n: [iv.lo, iv.hi] for n, iv in ranges.items()},
+            integer_bits=range_result.integer_bits(),
+            formats={n: fmt.describe() for n, fmt in assignment.formats.items()},
+            signal_power=signal_power,
+            results=results,
+            enclosure=enclosure,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _coerce_circuit(
+        self,
+        circuit: object,
+        input_ranges: Mapping[str, RangeLike] | None,
+        name: str | None,
+    ) -> tuple[DFG, Dict[str, Interval]]:
+        if isinstance(circuit, Expression):
+            graph = expression_to_dfg(circuit, name=name or "expr")
+        elif isinstance(circuit, DFG):
+            graph = circuit
+        elif hasattr(circuit, "graph") and hasattr(circuit, "input_ranges"):
+            graph = circuit.graph  # duck-typed benchmark circuit
+            if input_ranges is None:
+                input_ranges = circuit.input_ranges
+            if name is None:
+                name = getattr(circuit, "name", None)
+        else:
+            raise NoiseModelError(
+                f"cannot analyze {type(circuit).__name__}; pass an Expression or a DFG"
+            )
+        if input_ranges is None:
+            raise NoiseModelError("input_ranges is required (none supplied by the circuit)")
+        ranges_in = {str(k): _as_interval(v) for k, v in input_ranges.items()}
+        missing = [n for n in graph.inputs() if n not in ranges_in]
+        if missing:
+            raise NoiseModelError(f"missing input ranges for: {', '.join(sorted(missing))}")
+        return graph, ranges_in
+
+    @staticmethod
+    def _coerce_methods(method: str | Iterable[str] | None) -> list[str]:
+        if method is None:
+            names = list(ALL_METHODS)
+        elif isinstance(method, str):
+            names = [method.lower()]
+        else:
+            names = [str(m).lower() for m in method]
+        unknown = [m for m in names if m not in ALL_METHODS]
+        if unknown:
+            raise NoiseModelError(
+                f"unknown analysis method(s) {unknown}; choose from {ALL_METHODS}"
+            )
+        if not names:
+            raise NoiseModelError("no analysis methods requested")
+        return names
+
+    @staticmethod
+    def _resolve_output(graph: DFG, output: str | None) -> str:
+        outputs = graph.outputs()
+        if not outputs:
+            raise NoiseModelError(f"graph {graph.name!r} has no outputs")
+        if output is None:
+            return outputs[0]
+        if output in outputs:
+            return output
+        raise NoiseModelError(f"unknown output {output!r}; graph outputs: {outputs}")
+
+    def _ensure_coverage(
+        self,
+        assignment: WordLengthAssignment,
+        ranges: Mapping[str, Interval],
+    ) -> WordLengthAssignment:
+        """Widen formats whose representable range would clip their node.
+
+        ``integer_bits_for_range`` sizes against the half-open integer
+        range ``[-2**(i-1), 2**(i-1))`` without knowing the fractional
+        precision, so a range ending within one quantization step of the
+        power-of-two boundary can still exceed ``fmt.max_value``.  One
+        extra integer bit closes that gap and keeps the saturation-free
+        premise of the error models honest.
+        """
+        formats = dict(assignment.formats)
+        changed = False
+        for node, fmt in formats.items():
+            interval = ranges.get(node)
+            if interval is None:
+                continue
+            widened = fmt
+            while not (widened.min_value <= interval.lo and interval.hi <= widened.max_value):
+                if widened.integer_bits - fmt.integer_bits >= 4:
+                    raise NoiseModelError(
+                        f"format {fmt.describe()} of node {node!r} cannot cover its range "
+                        f"[{interval.lo}, {interval.hi}] even with 4 extra integer bits; "
+                        "the error models assume a saturation-free datapath"
+                    )
+                widened = widened.with_integer_bits(widened.integer_bits + 1)
+            if widened is not fmt:
+                formats[node] = widened
+                changed = True
+        if not changed:
+            return assignment
+        return WordLengthAssignment(formats, assignment.quantization, assignment.overflow)

@@ -1,0 +1,11 @@
+"""Benchmark circuit library and analysis benchmark driver.
+
+The circuits give every analysis method a shared workload matrix — from
+the paper's quadratic example to a feedback biquad — and
+:mod:`repro.benchmarks.bench_analysis` turns them into a timed,
+Monte-Carlo-validated JSON baseline (``BENCH_analysis.json``).
+"""
+
+from repro.benchmarks.circuits import CIRCUITS, BenchmarkCircuit, all_circuits, get_circuit
+
+__all__ = ["BenchmarkCircuit", "CIRCUITS", "get_circuit", "all_circuits"]

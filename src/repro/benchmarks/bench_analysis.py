@@ -1,0 +1,136 @@
+"""Benchmark driver: all circuits x all analysis methods, timed.
+
+Runs the :class:`~repro.analysis.pipeline.NoiseAnalysisPipeline` over the
+whole circuit library, cross-checks every analytic bound against the
+vectorized Monte-Carlo validator, and writes ``BENCH_analysis.json`` —
+the per-circuit timing and accuracy baseline that future performance work
+is measured against.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.benchmarks.bench_analysis          # full run
+    PYTHONPATH=src python -m repro.benchmarks.bench_analysis --smoke  # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.pipeline import ALL_METHODS, NoiseAnalysisPipeline
+from repro.benchmarks.circuits import CIRCUITS, get_circuit
+
+__all__ = ["run_benchmarks", "main"]
+
+DEFAULT_OUTPUT = "BENCH_analysis.json"
+
+
+def run_benchmarks(
+    circuits: Sequence[str] | None = None,
+    word_length: int = 12,
+    horizon: int = 8,
+    bins: int = 32,
+    mc_samples: int = 50_000,
+    seed: int = 0,
+) -> dict:
+    """Run the full benchmark matrix and return the report document."""
+    pipeline = NoiseAnalysisPipeline(
+        word_length=word_length,
+        horizon=horizon,
+        bins=bins,
+        mc_samples=mc_samples,
+        seed=seed,
+    )
+    names = list(circuits) if circuits else list(CIRCUITS)
+    document: dict = {
+        "suite": "noise-analysis-pipeline",
+        "config": {
+            "word_length": word_length,
+            "horizon": horizon,
+            "bins": bins,
+            "mc_samples": mc_samples,
+            "seed": seed,
+            "methods": list(ALL_METHODS),
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "circuits": {},
+    }
+    for name in names:
+        circuit = get_circuit(name)
+        started = time.perf_counter()
+        report = pipeline.analyze(circuit, output=circuit.output)
+        total = time.perf_counter() - started
+        entry = report.to_dict()
+        entry["description"] = circuit.description
+        entry["tags"] = list(circuit.tags)
+        entry["total_runtime_s"] = total
+        document["circuits"][name] = entry
+    document["all_enclosed"] = all(
+        entry["enclosure"].get(method, False)
+        for entry in document["circuits"].values()
+        for method in ("ia", "aa", "taylor")
+    )
+    return document
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUTPUT, help="output JSON path")
+    parser.add_argument("--word-length", type=int, default=12)
+    parser.add_argument("--horizon", type=int, default=8)
+    parser.add_argument("--bins", type=int, default=32)
+    parser.add_argument("--samples", type=int, default=50_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--circuit",
+        action="append",
+        choices=list(CIRCUITS),
+        help="restrict to specific circuits (repeatable)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, fast configuration for CI smoke runs",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.samples = min(args.samples, 2_000)
+        args.bins = min(args.bins, 16)
+        args.horizon = min(args.horizon, 4)
+
+    document = run_benchmarks(
+        circuits=args.circuit,
+        word_length=args.word_length,
+        horizon=args.horizon,
+        bins=args.bins,
+        mc_samples=args.samples,
+        seed=args.seed,
+    )
+
+    for name, entry in document["circuits"].items():
+        print(f"\n== {name}: {entry['description']}")
+        for method, row in entry["results"].items():
+            verdict = entry["enclosure"].get(method)
+            tag = "" if verdict is None else ("  ok" if verdict else "  VIOLATION")
+            print(
+                f"  {method:10s} [{row['lower']:+.6e}, {row['upper']:+.6e}] "
+                f"power={row['noise_power']:.3e} t={row['runtime_s'] * 1e3:8.2f}ms{tag}"
+            )
+        print(f"  total {entry['total_runtime_s'] * 1e3:.1f}ms")
+
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"\nwrote {out_path} (all_enclosed={document['all_enclosed']})")
+    return 0 if document["all_enclosed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,192 @@
+"""The benchmark circuit library.
+
+Six small but structurally diverse fixed-point datapaths exercise every
+corner of the analysis stack:
+
+* ``quadratic`` — the paper's running example (``x**2 + x``): a repeated
+  operand, where IA's dependency problem shows and SNA shines;
+* ``poly3`` — a Horner-form cubic: a multiply-accumulate chain with
+  quantized coefficients;
+* ``fir4`` — a 4-tap FIR filter: a sequential tapped delay line without
+  feedback;
+* ``iir_biquad`` — a direct-form-I biquad with feedback: range analysis
+  must iterate to a fixpoint and error analysis runs over an unrolled
+  horizon;
+* ``fft_butterfly`` — a radix-2 butterfly with a real twiddle: two
+  outputs sharing sub-expressions;
+* ``matmul2`` — one row of a 2x2 matrix product: wide fan-in of
+  independent inputs.
+
+Every circuit is a :class:`BenchmarkCircuit` carrying its graph, input
+ranges and a suggested analysis output, so a pipeline can consume it
+directly: ``pipeline.analyze(get_circuit("fir4"))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.dfg.builder import DFGBuilder, Wire, expression_to_dfg
+from repro.dfg.graph import DFG
+from repro.errors import DesignError
+from repro.intervals.interval import Interval
+from repro.symbols.expression import Symbol
+
+__all__ = ["BenchmarkCircuit", "CIRCUITS", "get_circuit", "all_circuits"]
+
+
+@dataclass(frozen=True)
+class BenchmarkCircuit:
+    """A ready-to-analyze benchmark design."""
+
+    name: str
+    graph: DFG
+    input_ranges: Dict[str, Interval]
+    description: str
+    output: str | None = None
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def sequential(self) -> bool:
+        """True when the design contains delay registers."""
+        return self.graph.is_sequential
+
+
+def _quadratic() -> BenchmarkCircuit:
+    x = Symbol("x")
+    graph = expression_to_dfg(x**2 + x, name="quadratic")
+    return BenchmarkCircuit(
+        name="quadratic",
+        graph=graph,
+        input_ranges={"x": Interval(-4.0, 3.0)},
+        description="the paper's quadratic example x^2 + x (repeated operand)",
+        tags=("combinational", "nonlinear"),
+    )
+
+
+def _poly3() -> BenchmarkCircuit:
+    builder = DFGBuilder("poly3")
+    x = builder.input("x")
+    # Horner form of 0.3 x^3 - 0.5 x^2 + 0.2 x + 0.1
+    acc = ((builder.const(0.3) * x + (-0.5)) * x + 0.2) * x + 0.1
+    builder.output(acc, name="y")
+    return BenchmarkCircuit(
+        name="poly3",
+        graph=builder.build(),
+        input_ranges={"x": Interval(-1.0, 1.0)},
+        description="Horner cubic polynomial evaluator with quantized coefficients",
+        tags=("combinational", "nonlinear"),
+    )
+
+
+def _fir4() -> BenchmarkCircuit:
+    builder = DFGBuilder("fir4")
+    x = builder.input("x")
+    coefficients = [0.25, 0.5, 0.25, 0.125]
+    taps = builder.delayed_taps(x, len(coefficients))
+    products = [tap * builder.const(c) for tap, c in zip(taps, coefficients)]
+    builder.output(builder.sum_of(products), name="y")
+    return BenchmarkCircuit(
+        name="fir4",
+        graph=builder.build(),
+        input_ranges={"x": Interval(-1.0, 1.0)},
+        description="4-tap FIR low-pass filter (tapped delay line, no feedback)",
+        tags=("sequential", "linear"),
+    )
+
+
+def _iir_biquad() -> BenchmarkCircuit:
+    # Direct-form-I Butterworth-style biquad, stable low-pass:
+    #   y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a2 y[n-2]   (a1 = 0)
+    b0, b1, b2 = 0.2929, 0.5858, 0.2929
+    a2 = 0.1716
+    builder = DFGBuilder("iir_biquad")
+    x = builder.input("x")
+    graph = builder.graph
+    graph.add_delay(name="y1")
+    graph.add_delay(name="y2")
+    graph.connect_delay("y2", "y1")
+    x1 = x.delay()
+    x2 = x1.delay()
+    feedforward = builder.sum_of(
+        [
+            x * builder.const(b0),
+            x1 * builder.const(b1),
+            x2 * builder.const(b2),
+        ]
+    )
+    y = feedforward - Wire(builder, "y2") * builder.const(a2)
+    graph.connect_delay("y1", y.node_name)
+    builder.output(y, name="y")
+    return BenchmarkCircuit(
+        name="iir_biquad",
+        graph=builder.build(),
+        input_ranges={"x": Interval(-1.0, 1.0)},
+        description="direct-form-I IIR biquad low-pass (feedback through two delays)",
+        tags=("sequential", "feedback", "linear"),
+    )
+
+
+def _fft_butterfly() -> BenchmarkCircuit:
+    builder = DFGBuilder("fft_butterfly")
+    a = builder.input("a")
+    b = builder.input("b")
+    twiddle = builder.const(0.7071067811865476)  # cos(pi/4) real twiddle
+    product = b * twiddle
+    builder.output(a + product, name="x0")
+    builder.output(a - product, name="x1")
+    return BenchmarkCircuit(
+        name="fft_butterfly",
+        graph=builder.build(),
+        input_ranges={"a": Interval(-1.0, 1.0), "b": Interval(-1.0, 1.0)},
+        description="radix-2 FFT butterfly with real twiddle (two outputs)",
+        output="x1",
+        tags=("combinational", "linear", "multi-output"),
+    )
+
+
+def _matmul2() -> BenchmarkCircuit:
+    builder = DFGBuilder("matmul2")
+    a00, a01, a10, a11 = builder.inputs(["a00", "a01", "a10", "a11"])
+    b00, b01, b10, b11 = builder.inputs(["b00", "b01", "b10", "b11"])
+    builder.output(a00 * b00 + a01 * b10, name="c00")
+    builder.output(a00 * b01 + a01 * b11, name="c01")
+    builder.output(a10 * b00 + a11 * b10, name="c10")
+    builder.output(a10 * b01 + a11 * b11, name="c11")
+    ranges = {name: Interval(-1.0, 1.0) for name in builder.graph.inputs()}
+    return BenchmarkCircuit(
+        name="matmul2",
+        graph=builder.build(),
+        input_ranges=ranges,
+        description="2x2 matrix multiply (8 inputs, 4 outputs; c00 analyzed)",
+        output="c00",
+        tags=("combinational", "nonlinear", "multi-output"),
+    )
+
+
+#: Registry of circuit builders, in canonical benchmark order.
+CIRCUITS: Dict[str, Callable[[], BenchmarkCircuit]] = {
+    "quadratic": _quadratic,
+    "poly3": _poly3,
+    "fir4": _fir4,
+    "iir_biquad": _iir_biquad,
+    "fft_butterfly": _fft_butterfly,
+    "matmul2": _matmul2,
+}
+
+
+def get_circuit(name: str) -> BenchmarkCircuit:
+    """Instantiate one benchmark circuit by name."""
+    try:
+        factory = CIRCUITS[name]
+    except KeyError as exc:
+        raise DesignError(
+            f"unknown benchmark circuit {name!r}; available: {', '.join(CIRCUITS)}"
+        ) from exc
+    return factory()
+
+
+def all_circuits() -> List[BenchmarkCircuit]:
+    """Instantiate every benchmark circuit, in registry order."""
+    return [factory() for factory in CIRCUITS.values()]

@@ -9,10 +9,17 @@ derives the integer bit-widths required at every node.
 """
 
 from repro.dfg.builder import DFGBuilder, Wire, expression_to_dfg
-from repro.dfg.evaluate import evaluate_combinational, simulate, simulate_fixed_point
+from repro.dfg.evaluate import (
+    evaluate_combinational,
+    simulate,
+    simulate_batch,
+    simulate_fixed_point,
+    simulate_fixed_point_batch,
+)
 from repro.dfg.graph import DFG
 from repro.dfg.node import Node, OpType
 from repro.dfg.range_analysis import formats_for_ranges, infer_ranges
+from repro.dfg.unroll import UnrolledGraph, unroll_sequential
 
 __all__ = [
     "DFG",
@@ -24,6 +31,10 @@ __all__ = [
     "evaluate_combinational",
     "simulate",
     "simulate_fixed_point",
+    "simulate_batch",
+    "simulate_fixed_point_batch",
+    "UnrolledGraph",
+    "unroll_sequential",
     "infer_ranges",
     "formats_for_ranges",
 ]

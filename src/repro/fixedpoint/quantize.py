@@ -22,8 +22,10 @@ Number = Union[int, float]
 
 def _apply_precision(scaled: np.ndarray, mode: QuantizationMode) -> np.ndarray:
     if mode is QuantizationMode.ROUND:
-        # round-half-away-from-zero, the usual DSP hardware convention
-        return np.floor(scaled + 0.5)
+        # round-half-away-from-zero, the usual DSP hardware convention.
+        # np.floor(x + 0.5) would be round-half-toward-+inf and send -2.5
+        # to -2 instead of -3, so round the magnitude and restore the sign.
+        return np.copysign(np.floor(np.abs(scaled) + 0.5), scaled)
     if mode is QuantizationMode.TRUNCATE:
         return np.floor(scaled)
     raise FixedPointError(f"unknown quantization mode {mode!r}")

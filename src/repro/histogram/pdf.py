@@ -178,13 +178,32 @@ class HistogramPDF:
         """Bins as :class:`Interval` objects (in order)."""
         return [Interval(float(a), float(b)) for a, b in zip(self.edges[:-1], self.edges[1:])]
 
+    def _degenerate_bins(self) -> np.ndarray:
+        """Boolean mask of bins too narrow to carry a meaningful density.
+
+        :meth:`point` represents an exact value as a bin of relative width
+        ``2 * _POINT_HALF_WIDTH``; scaling or combining such histograms can
+        shrink widths further, down to subnormals where ``probs / widths``
+        overflows to ``inf``.  All density-based queries treat these bins
+        as point masses instead of dividing by their width.
+        """
+        scale = np.maximum(np.abs(self.midpoints), 1.0)
+        return self.widths <= 4.0 * _POINT_HALF_WIDTH * scale
+
     def is_point(self, tol: float = 1e-9) -> bool:
         """True when the whole mass is concentrated in a negligible width."""
         return self.support.width <= tol * max(1.0, abs(self.support.midpoint))
 
     def density(self) -> np.ndarray:
-        """Probability density value inside each bin (mass / width)."""
-        return self.probs / self.widths
+        """Probability density value inside each bin (mass / width).
+
+        Degenerate (point-mass) bins have no finite density; they report
+        0.0 here rather than ``inf``/NaN — their mass is still present in
+        :attr:`probs`.
+        """
+        degenerate = self._degenerate_bins()
+        widths = np.where(degenerate, 1.0, self.widths)
+        return np.where(degenerate, 0.0, self.probs / widths)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -239,11 +258,23 @@ class HistogramPDF:
         return Interval(float(self.edges[first]), float(self.edges[last + 1]))
 
     def probability_of(self, interval: Interval) -> float:
-        """Probability mass falling inside ``interval``."""
+        """Probability mass falling inside ``interval``.
+
+        Degenerate (point-mass) bins contribute their full mass when their
+        midpoint lies inside ``interval`` instead of dividing overlap by a
+        (near-)zero width.
+        """
         lo = np.maximum(self.edges[:-1], interval.lo)
         hi = np.minimum(self.edges[1:], interval.hi)
         overlap = np.clip(hi - lo, 0.0, None)
-        return float(np.sum(self.probs * overlap / self.widths))
+        degenerate = self._degenerate_bins()
+        widths = np.where(degenerate, 1.0, self.widths)
+        fraction = np.where(
+            degenerate,
+            ((self.midpoints >= interval.lo) & (self.midpoints <= interval.hi)).astype(float),
+            overlap / widths,
+        )
+        return float(np.sum(self.probs * fraction))
 
     def cdf(self, x: Number) -> float:
         """Cumulative distribution function at ``x``."""
@@ -276,9 +307,17 @@ class HistogramPDF:
         return float(self.edges[idx] + frac * (self.edges[idx + 1] - self.edges[idx]))
 
     def entropy(self) -> float:
-        """Differential entropy estimate (nats) of the piecewise-uniform density."""
+        """Differential entropy estimate (nats) of the piecewise-uniform density.
+
+        Only the continuous part of the distribution contributes: a
+        degenerate (point-mass) bin has ``-inf`` differential entropy in
+        the limit, so such bins are excluded rather than poisoning the sum
+        with ``inf``/NaN.  A pure point histogram therefore reports 0.0.
+        """
         densities = self.density()
-        mask = self.probs > 0
+        mask = (self.probs > 0) & ~self._degenerate_bins()
+        if not np.any(mask):
+            return 0.0
         return float(-np.sum(self.probs[mask] * np.log(densities[mask])))
 
     # ------------------------------------------------------------------ #

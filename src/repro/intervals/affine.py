@@ -21,6 +21,7 @@ while ``x * x`` (a nonlinear op) is not exactly ``x ** 2``.
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Dict, Iterable, Mapping, Union
 
 from repro.errors import DivisionByZeroIntervalError, IntervalError
@@ -250,20 +251,26 @@ class AffineForm:
         return AffineForm(center, terms, self.context)
 
     def reciprocal(self) -> "AffineForm":
-        """``1 / self`` via the Chebyshev (min-max) linear approximation."""
+        """``1 / self`` via the Chebyshev (min-max) linear approximation.
+
+        With the secant slope ``alpha = -1/(a*b)`` the deviation
+        ``d(x) = 1/x - alpha*x`` is equal at both endpoints (``1/a + 1/b``);
+        the opposite extreme is at the interior tangent point
+        ``+/-sqrt(a*b)``.  Using the two endpoints for ``d_max``/``d_min``
+        would make ``delta`` collapse to zero and lose soundness.
+        """
         interval = self.to_interval()
         if interval.contains(0.0):
             raise DivisionByZeroIntervalError(f"cannot invert {self!r}: encloses zero")
         a, b = interval.lo, interval.hi
+        alpha = -1.0 / (a * b)
+        root = math.sqrt(a * b)
         if a > 0:
-            alpha = -1.0 / (a * b)
-            # Chebyshev approximation of 1/x over [a, b]
-            d_max = 1.0 / a - alpha * a
-            d_min = 1.0 / b - alpha * b
+            d_max = 1.0 / a + 1.0 / b
+            d_min = 2.0 / root
         else:
-            alpha = -1.0 / (a * b)
-            d_max = 1.0 / b - alpha * b
-            d_min = 1.0 / a - alpha * a
+            d_max = -2.0 / root
+            d_min = 1.0 / a + 1.0 / b
         zeta = 0.5 * (d_max + d_min)
         delta = 0.5 * (d_max - d_min)
         result = self.scale(alpha).shift(zeta)

@@ -17,9 +17,10 @@ additional baseline in the comparison benchmarks.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Mapping, Tuple, Union
 
-from repro.errors import IntervalError
+from repro.errors import DivisionByZeroIntervalError, IntervalError
 from repro.intervals.interval import Interval
 
 __all__ = ["TaylorModel"]
@@ -237,6 +238,50 @@ class TaylorModel:
     def square(self) -> "TaylorModel":
         """``self * self`` — the shared symbols keep the dependency."""
         return self * self
+
+    def reciprocal(self) -> "TaylorModel":
+        """``1 / self`` via the Chebyshev (min-max) linear approximation.
+
+        The model's bound must not contain zero.  Over ``[a, b]`` the
+        approximation ``1/x ~ alpha*x + zeta`` deviates by at most
+        ``delta``; applying it to the model keeps the polynomial part
+        linear in the existing symbols while ``delta`` is absorbed into
+        the remainder, so the enclosure stays sound.
+        """
+        interval = self.bound()
+        if interval.contains(0.0):
+            raise DivisionByZeroIntervalError(f"cannot invert {self!r}: encloses zero")
+        a, b = interval.lo, interval.hi
+        alpha = -1.0 / (a * b)
+        # The secant deviation d(x) = 1/x - alpha*x takes equal values at
+        # both endpoints (1/a + 1/b); the opposite extreme sits at the
+        # interior tangent point +/-sqrt(a*b).
+        root = math.sqrt(a * b)
+        if a > 0:
+            d_max = 1.0 / a + 1.0 / b
+            d_min = 2.0 / root
+        else:
+            d_max = -2.0 / root
+            d_min = 1.0 / a + 1.0 / b
+        zeta = 0.5 * (d_max + d_min)
+        delta = 0.5 * (d_max - d_min)
+        scaled = self.scale(alpha)
+        return TaylorModel(
+            scaled.constant + zeta,
+            scaled.linear,
+            scaled.quadratic,
+            scaled.remainder + Interval(-delta, delta),
+        )
+
+    def __truediv__(self, other: "TaylorModel | Number") -> "TaylorModel":
+        if isinstance(other, (int, float)):
+            if other == 0:
+                raise DivisionByZeroIntervalError("division by zero scalar")
+            return self.scale(1.0 / float(other))
+        return self * self._coerce(other).reciprocal()
+
+    def __rtruediv__(self, other: "TaylorModel | Number") -> "TaylorModel":
+        return self._coerce(other) * self.reciprocal()
 
     def __pow__(self, exponent: int) -> "TaylorModel":
         if not isinstance(exponent, int) or exponent < 0:

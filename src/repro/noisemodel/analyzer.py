@@ -1,0 +1,435 @@
+"""Datapath-level noise analysis: one engine, four enclosure algebras.
+
+:class:`DatapathNoiseAnalyzer` propagates *pairs* ``(value, error)``
+through a dataflow graph in topological order.  ``value`` encloses the
+infinite-precision result of a node; ``error`` encloses the deviation of
+the bit-true fixed-point result from it.  The propagation rules are the
+exact algebraic expansions, so every method that evaluates them in a
+sound enclosure algebra yields sound error bounds:
+
+* ``add``:     ``e = e_a + e_b (+ q)``
+* ``sub``:     ``e = e_a - e_b (+ q)``
+* ``mul``:     ``(a + e_a)(b + e_b) - ab = a e_b + b e_a + e_a e_b (+ q)``
+* ``square``:  ``(a + e_a)^2 - a^2 = 2 a e_a + e_a^2 (+ q)``
+* ``div``:     ``(a + e_a)/(b + e_b) - a/b (+ q)`` evaluated directly
+* ``neg``:     ``e = -e_a``
+
+where ``q`` is the node's own quantization error (a
+:class:`~repro.noisemodel.sources.QuantizationSource`) when the node
+carries a fixed-point format.
+
+The same engine runs in four algebras, selected by name:
+
+* ``"ia"`` — plain :class:`~repro.intervals.interval.Interval` bounds;
+* ``"aa"`` — :class:`~repro.intervals.affine.AffineForm`, keeping
+  first-order correlation between value and error terms;
+* ``"taylor"`` — degree-2 :class:`~repro.intervals.taylor.TaylorModel`;
+* ``"sna"`` — :class:`~repro.histogram.pdf.HistogramPDF` distributions
+  (the paper's Symbolic Noise Analysis reading: an interval operand is a
+  uniform random value, every quantization point contributes its error
+  PDF, and the output is a full error distribution, not just bounds).
+
+Sequential graphs are analyzed over a finite horizon by unrolling
+(:mod:`repro.dfg.unroll`), which makes the bounds directly comparable to
+a zero-initial-state time-stepped simulation of the same length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.dfg.graph import DFG
+from repro.dfg.node import OpType
+from repro.dfg.unroll import unroll_sequential
+from repro.errors import NoiseModelError
+from repro.histogram.pdf import HistogramPDF
+from repro.histogram.statistics import summarize
+from repro.intervals.affine import AffineContext, AffineForm
+from repro.intervals.interval import Interval
+from repro.intervals.taylor import TaylorModel
+from repro.noisemodel.assignment import WordLengthAssignment
+from repro.noisemodel.gains import transfer_gains
+from repro.noisemodel.sources import QuantizationSource, build_sources, sources_by_node
+
+__all__ = ["DatapathNoiseAnalyzer", "NoiseReport", "ANALYSIS_METHODS"]
+
+ANALYSIS_METHODS = ("ia", "aa", "taylor", "sna")
+
+
+@dataclass(frozen=True)
+class NoiseReport:
+    """Summary of one noise analysis of one output.
+
+    ``bounds`` is a sound worst-case enclosure of the output error for the
+    IA / AA / Taylor methods; for SNA it is the support of the propagated
+    error distribution.  ``mean`` / ``variance`` / ``noise_power`` follow
+    each method's natural probabilistic reading (uniform over the bounds
+    for IA, independent uniform noise symbols for AA and Taylor, the
+    histogram's own moments for SNA).
+    """
+
+    method: str
+    output: str
+    bounds: Interval
+    mean: float
+    variance: float
+    noise_power: float
+    source_count: int
+    contributions: Dict[str, float] = field(default_factory=dict)
+    error_pdf: HistogramPDF | None = None
+
+    @property
+    def std(self) -> float:
+        """Standard deviation of the error."""
+        return math.sqrt(max(0.0, self.variance))
+
+    def snr_db(self, signal_power: float) -> float:
+        """Signal-to-noise ratio in dB for a given signal power."""
+        if self.noise_power <= 0.0:
+            return float("inf")
+        if signal_power <= 0.0:
+            return float("-inf")
+        return 10.0 * math.log10(signal_power / self.noise_power)
+
+    def dominant_sources(self, count: int = 5) -> List[Tuple[str, float]]:
+        """Largest per-node error contributions, descending."""
+        ranked = sorted(self.contributions.items(), key=lambda item: item[1], reverse=True)
+        return ranked[:count]
+
+    def as_row(self) -> dict:
+        """Plain-dict view for tables and JSON reports."""
+        return {
+            "method": self.method,
+            "lower": self.bounds.lo,
+            "upper": self.bounds.hi,
+            "mean": self.mean,
+            "variance": self.variance,
+            "noise_power": self.noise_power,
+            "sources": self.source_count,
+        }
+
+
+def _base_name(name: str) -> str:
+    return name.split("@", 1)[0]
+
+
+class DatapathNoiseAnalyzer:
+    """Propagates quantization errors of a fixed-point datapath.
+
+    Parameters
+    ----------
+    graph:
+        The dataflow graph (combinational or sequential).
+    assignment:
+        Per-node fixed-point formats plus quantization/overflow modes.
+    input_ranges:
+        Range of every external input (keyed by original input name).
+    input_pdfs:
+        Optional per-input PDFs for the SNA method; inputs without an
+        entry are taken uniform over their range.
+    horizon:
+        Unrolling depth for sequential graphs (ignored for combinational
+        ones).
+    bins:
+        Histogram granularity of the SNA method.
+    """
+
+    def __init__(
+        self,
+        graph: DFG,
+        assignment: WordLengthAssignment,
+        input_ranges: Mapping[str, Interval],
+        input_pdfs: Mapping[str, HistogramPDF] | None = None,
+        horizon: int = 8,
+        bins: int = 32,
+    ) -> None:
+        missing = [name for name in graph.inputs() if name not in input_ranges]
+        if missing:
+            raise NoiseModelError(f"missing input ranges for: {', '.join(sorted(missing))}")
+        self.original = graph
+        self.assignment = assignment
+        self.input_ranges = dict(input_ranges)
+        self.input_pdfs = dict(input_pdfs or {})
+        self.horizon = int(horizon)
+        self.bins = int(bins)
+
+        if graph.is_sequential:
+            unrolled = unroll_sequential(graph, self.horizon)
+            self.graph = unrolled.graph
+            self.working_assignment = WordLengthAssignment(
+                formats=unrolled.map_formats(assignment.formats),  # type: ignore[arg-type]
+                quantization=assignment.quantization,
+                overflow=assignment.overflow,
+            )
+        else:
+            self.graph = graph
+            self.working_assignment = assignment
+        self.sources = build_sources(self.graph, self.working_assignment)
+        self._sources_by_node = sources_by_node(self.sources)
+
+    # ------------------------------------------------------------------ #
+    def _resolve_output(self, output: str | None) -> str:
+        outputs = self.graph.outputs()
+        if output is None:
+            if not outputs:
+                raise NoiseModelError(f"graph {self.graph.name!r} has no outputs")
+            return outputs[0]
+        if output in outputs:
+            return output
+        matches = [name for name in outputs if _base_name(name) == output]
+        if len(matches) == 1:
+            return matches[0]
+        raise NoiseModelError(f"unknown output {output!r}; graph outputs: {outputs}")
+
+    def _input_range(self, instance: str) -> Interval:
+        return self.input_ranges[_base_name(instance)]
+
+    def _input_pdf(self, instance: str) -> HistogramPDF:
+        base = _base_name(instance)
+        if base in self.input_pdfs:
+            return self.input_pdfs[base].rebin(self.bins)
+        interval = self.input_ranges[base]
+        return HistogramPDF.uniform(interval.lo, interval.hi, bins=self.bins)
+
+    # ------------------------------------------------------------------ #
+    # per-algebra constructors
+    # ------------------------------------------------------------------ #
+    def _make_value(self, method: str, instance: str, context: AffineContext | None) -> Any:
+        interval = self._input_range(instance)
+        if method == "ia":
+            return interval
+        if method == "aa":
+            assert context is not None
+            return context.variable(instance, interval.lo, interval.hi)
+        if method == "taylor":
+            return TaylorModel.variable(instance, interval.lo, interval.hi)
+        return self._input_pdf(instance)
+
+    def _make_const(self, method: str, value: float, context: AffineContext | None) -> Any:
+        if method == "ia":
+            return Interval.point(value)
+        if method == "aa":
+            return AffineForm(value, {}, context)
+        if method == "taylor":
+            return TaylorModel.constant_model(value)
+        return HistogramPDF.point(value)
+
+    def _make_error_term(self, method: str, source: QuantizationSource, context: AffineContext | None) -> Any:
+        interval = source.error_interval
+        if method == "ia":
+            return interval
+        if method == "aa":
+            assert context is not None
+            if interval.radius == 0.0:
+                return AffineForm(interval.midpoint, {}, context)
+            return AffineForm(interval.midpoint, {source.symbol: interval.radius}, context)
+        if method == "taylor":
+            if interval.radius == 0.0:
+                return TaylorModel.constant_model(interval.midpoint)
+            return TaylorModel(constant=interval.midpoint, linear={source.symbol: interval.radius})
+        return source.error_pdf(bins=self.bins)
+
+    # ------------------------------------------------------------------ #
+    # the propagation sweep
+    # ------------------------------------------------------------------ #
+    def _propagate(self, method: str) -> tuple[Dict[str, Any], Dict[str, Any], AffineContext | None]:
+        context = AffineContext() if method == "aa" else None
+        values: Dict[str, Any] = {}
+        errors: Dict[str, Any] = {}
+        for name in self.graph.topological_order():
+            node = self.graph.node(name)
+            source = self._sources_by_node.get(name)
+            own = self._make_error_term(method, source, context) if source else None
+            if node.op is OpType.INPUT:
+                values[name] = self._make_value(method, name, context)
+                errors[name] = own if own is not None else 0.0
+            elif node.op is OpType.CONST:
+                values[name] = self._make_const(method, float(node.value), context)
+                errors[name] = own if own is not None else 0.0
+            elif node.op is OpType.OUTPUT:
+                values[name] = values[node.inputs[0]]
+                errors[name] = errors[node.inputs[0]]
+            elif node.op is OpType.NEG:
+                values[name] = -values[node.inputs[0]]
+                err = -errors[node.inputs[0]] if not _is_zero(errors[node.inputs[0]]) else 0.0
+                errors[name] = _add_error(err, own)
+            elif node.op is OpType.SQUARE:
+                a = node.inputs[0]
+                va, ea = values[a], errors[a]
+                values[name] = _square(va)
+                if _is_zero(ea):
+                    err: Any = 0.0
+                else:
+                    err = 2.0 * (va * ea) + _square(ea)
+                errors[name] = _add_error(err, own)
+            elif node.op in (OpType.ADD, OpType.SUB):
+                a, b = node.inputs
+                va, vb = values[a], values[b]
+                ea, eb = errors[a], errors[b]
+                if node.op is OpType.ADD:
+                    values[name] = va + vb
+                    err = ea + eb
+                else:
+                    values[name] = va - vb
+                    err = ea - eb
+                errors[name] = _add_error(err, own)
+            elif node.op is OpType.MUL:
+                a, b = node.inputs
+                va, vb = values[a], values[b]
+                ea, eb = errors[a], errors[b]
+                values[name] = va * vb
+                err = 0.0
+                if not _is_zero(eb):
+                    err = _add_error(err, va * eb)
+                if not _is_zero(ea):
+                    err = _add_error(err, vb * ea)
+                if not (_is_zero(ea) or _is_zero(eb)):
+                    err = _add_error(err, ea * eb)
+                errors[name] = _add_error(err, own)
+            elif node.op is OpType.DIV:
+                a, b = node.inputs
+                va, vb = values[a], values[b]
+                ea, eb = errors[a], errors[b]
+                exact = va / vb
+                values[name] = exact
+                if _is_zero(ea) and _is_zero(eb):
+                    err = 0.0
+                else:
+                    err = (va + ea) / (vb + eb) - exact
+                errors[name] = _add_error(err, own)
+            else:  # pragma: no cover - DELAY cannot appear after unrolling
+                raise NoiseModelError(f"unexpected operation {node.op!r} in noise propagation")
+        return values, errors, context
+
+    # ------------------------------------------------------------------ #
+    # report construction
+    # ------------------------------------------------------------------ #
+    def analyze(self, method: str = "sna", output: str | None = None) -> NoiseReport:
+        """Run one analysis method and summarize the output error."""
+        method = str(method).lower()
+        if method not in ANALYSIS_METHODS:
+            raise NoiseModelError(
+                f"unknown analysis method {method!r}; choose from {ANALYSIS_METHODS}"
+            )
+        target = self._resolve_output(output)
+        values, errors, _context = self._propagate(method)
+        error = errors[target]
+        builder = getattr(self, f"_report_{method}")
+        return builder(target, error, values)
+
+    def analyze_all(self, output: str | None = None) -> Dict[str, NoiseReport]:
+        """Run every analysis method on the same output."""
+        return {method: self.analyze(method, output=output) for method in ANALYSIS_METHODS}
+
+    def _aggregate_contributions(self, raw: Mapping[str, float]) -> Dict[str, float]:
+        merged: Dict[str, float] = {}
+        for symbol, magnitude in raw.items():
+            node = symbol[2:] if symbol.startswith("e_") else symbol
+            merged[_base_name(node)] = merged.get(_base_name(node), 0.0) + abs(magnitude)
+        return merged
+
+    def _report_ia(self, target: str, error: Any, values: Dict[str, Any]) -> NoiseReport:
+        bounds = error if isinstance(error, Interval) else Interval.point(float(error))
+        mean = bounds.midpoint
+        variance = bounds.width * bounds.width / 12.0
+        # The propagated values ARE the per-node IA enclosures; reuse them
+        # as the ranges the adjoint gain sweep linearizes around.
+        profile = transfer_gains(self.graph, values, output=target)
+        contributions = self._aggregate_contributions(
+            {
+                source.node: profile.magnitude_of(source.node) * source.error_interval.magnitude
+                for source in self.sources
+            }
+        )
+        return NoiseReport(
+            method="ia",
+            output=target,
+            bounds=bounds,
+            mean=mean,
+            variance=variance,
+            noise_power=mean * mean + variance,
+            source_count=len(self.sources),
+            contributions=contributions,
+        )
+
+    def _report_aa(self, target: str, error: Any, values: Dict[str, Any]) -> NoiseReport:
+        if not isinstance(error, AffineForm):
+            error = AffineForm(float(error), {})
+        bounds = error.to_interval()
+        mean = error.center
+        variance = sum(coeff * coeff for coeff in error.terms.values()) / 3.0
+        contributions = self._aggregate_contributions(
+            {name: coeff for name, coeff in error.terms.items() if name.startswith("e_")}
+        )
+        return NoiseReport(
+            method="aa",
+            output=target,
+            bounds=bounds,
+            mean=mean,
+            variance=variance,
+            noise_power=mean * mean + variance,
+            source_count=len(self.sources),
+            contributions=contributions,
+        )
+
+    def _report_taylor(self, target: str, error: Any, values: Dict[str, Any]) -> NoiseReport:
+        if not isinstance(error, TaylorModel):
+            error = TaylorModel.constant_model(float(error))
+        bounds = error.bound()
+        mean = error.constant + error.remainder.midpoint
+        variance = sum(c * c for c in error.linear.values()) / 3.0
+        for (a, b), coeff in error.quadratic.items():
+            if a == b:
+                mean += coeff / 3.0
+                variance += coeff * coeff * (4.0 / 45.0)
+            else:
+                variance += coeff * coeff / 9.0
+        variance += error.remainder.radius * error.remainder.radius / 3.0
+        contributions = self._aggregate_contributions(
+            {name: coeff for name, coeff in error.linear.items() if name.startswith("e_")}
+        )
+        return NoiseReport(
+            method="taylor",
+            output=target,
+            bounds=bounds,
+            mean=mean,
+            variance=variance,
+            noise_power=mean * mean + variance,
+            source_count=len(self.sources),
+            contributions=contributions,
+        )
+
+    def _report_sna(self, target: str, error: Any, values: Dict[str, Any]) -> NoiseReport:
+        if not isinstance(error, HistogramPDF):
+            error = HistogramPDF.point(float(error))
+        stats = summarize(error)
+        return NoiseReport(
+            method="sna",
+            output=target,
+            bounds=stats.bounds,
+            mean=stats.mean,
+            variance=stats.variance,
+            noise_power=stats.noise_power,
+            source_count=len(self.sources),
+            error_pdf=error,
+        )
+
+
+def _is_zero(value: Any) -> bool:
+    return isinstance(value, float) and value == 0.0
+
+
+def _square(value: Any) -> Any:
+    if hasattr(value, "square"):
+        return value.square()
+    return value * value
+
+
+def _add_error(accumulated: Any, term: Any) -> Any:
+    if term is None or _is_zero(term):
+        return accumulated
+    if _is_zero(accumulated):
+        return term
+    return accumulated + term

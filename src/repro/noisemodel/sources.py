@@ -1,0 +1,133 @@
+"""Quantization-noise sources of a fixed-point datapath.
+
+Every node that carries a fixed-point format injects an error where its
+exact result is quantized onto the format grid.  A
+:class:`QuantizationSource` packages that injection point as a noise
+symbol: a name, a sound error interval, and a histogram PDF usable by the
+SNA machinery.
+
+Constants are special-cased: quantizing a known coefficient produces a
+*deterministic* error (``quantize(c) - c``), not a random one, so constant
+sources carry a point interval/PDF at the actual rounding residue.  Delay
+registers and OUTPUT markers are skipped entirely — both forward values
+that were already quantized at their producer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dfg.graph import DFG
+from repro.dfg.node import OpType
+from repro.fixedpoint.format import FixedPointFormat, QuantizationMode
+from repro.fixedpoint.quantize import quantization_error_bounds, quantize
+from repro.histogram.pdf import HistogramPDF
+from repro.histogram.shapes import quantization_error_histogram
+from repro.intervals.interval import Interval
+from repro.noisemodel.assignment import WordLengthAssignment
+
+__all__ = ["QuantizationSource", "build_sources", "sources_by_node"]
+
+
+@dataclass(frozen=True)
+class QuantizationSource:
+    """One quantization point of the datapath, viewed as a noise symbol.
+
+    Attributes
+    ----------
+    node:
+        Name of the DFG node whose result is quantized.
+    symbol:
+        Noise-symbol name used in symbolic error expressions (``e_<node>``).
+    fmt:
+        The fixed-point format applied at the node.
+    mode:
+        Quantization mode in effect (round / truncate).
+    error_interval:
+        Sound bounds of the injected error.
+    deterministic:
+        True for constant nodes, whose error is a single known value.
+    """
+
+    node: str
+    symbol: str
+    fmt: FixedPointFormat
+    mode: QuantizationMode
+    error_interval: Interval
+    deterministic: bool = False
+
+    @property
+    def step(self) -> float:
+        """Quantization step of the source's format."""
+        return self.fmt.step
+
+    def error_pdf(self, bins: int = 16) -> HistogramPDF:
+        """Histogram PDF of the injected error (a point for constants)."""
+        if self.deterministic or self.error_interval.is_point():
+            return HistogramPDF.point(self.error_interval.midpoint)
+        return quantization_error_histogram(self.fmt.fractional_bits, self.mode.value, bins=bins)
+
+    def variance(self) -> float:
+        """Variance of the classical error model (0 for constants)."""
+        if self.deterministic:
+            return 0.0
+        return self.step * self.step / 12.0
+
+    def mean(self) -> float:
+        """Mean of the error model."""
+        if self.deterministic:
+            return self.error_interval.midpoint
+        if self.mode is QuantizationMode.TRUNCATE:
+            return -0.5 * self.step
+        return 0.0
+
+
+def build_sources(
+    graph: DFG,
+    assignment: WordLengthAssignment,
+) -> List[QuantizationSource]:
+    """Enumerate the quantization sources of ``graph`` under ``assignment``.
+
+    One source is produced per formatted node, in topological order, with
+    OUTPUT and DELAY nodes skipped (they forward already-quantized
+    values).  Unformatted nodes are modeled as exact wide intermediates
+    and inject no error, mirroring :func:`~repro.dfg.evaluate.simulate_fixed_point`.
+    """
+    sources: List[QuantizationSource] = []
+    for name in graph.topological_order():
+        node = graph.node(name)
+        if node.op in (OpType.OUTPUT, OpType.DELAY):
+            continue
+        fmt = assignment.formats.get(name)
+        if fmt is None:
+            continue
+        if node.op is OpType.CONST:
+            residue = quantize(float(node.value), fmt, assignment.quantization, assignment.overflow)
+            residue -= float(node.value)
+            sources.append(
+                QuantizationSource(
+                    node=name,
+                    symbol=f"e_{name}",
+                    fmt=fmt,
+                    mode=assignment.quantization,
+                    error_interval=Interval.point(residue),
+                    deterministic=True,
+                )
+            )
+            continue
+        sources.append(
+            QuantizationSource(
+                node=name,
+                symbol=f"e_{name}",
+                fmt=fmt,
+                mode=assignment.quantization,
+                error_interval=quantization_error_bounds(fmt, assignment.quantization),
+            )
+        )
+    return sources
+
+
+def sources_by_node(sources: List[QuantizationSource]) -> Dict[str, QuantizationSource]:
+    """Index a source list by node name."""
+    return {source.node: source for source in sources}

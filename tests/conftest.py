@@ -1,0 +1,14 @@
+"""Make the src/ layout importable without installation.
+
+The canonical invocation is ``PYTHONPATH=src python -m pytest``; this
+shim keeps a plain ``python -m pytest`` (or an IDE runner) working too.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

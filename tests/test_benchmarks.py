@@ -1,0 +1,65 @@
+"""The circuit library and benchmark driver, in smoke configuration."""
+
+import json
+
+import pytest
+
+from repro.analysis import NoiseAnalysisPipeline
+from repro.benchmarks import CIRCUITS, all_circuits, get_circuit
+from repro.benchmarks.bench_analysis import main as bench_main
+from repro.errors import DesignError
+
+SMOKE = NoiseAnalysisPipeline(word_length=10, horizon=4, bins=12, mc_samples=1_500, seed=1)
+
+
+class TestCircuitLibrary:
+    def test_registry_contents(self):
+        assert set(CIRCUITS) == {
+            "quadratic",
+            "poly3",
+            "fir4",
+            "iir_biquad",
+            "fft_butterfly",
+            "matmul2",
+        }
+
+    @pytest.mark.parametrize("name", sorted(CIRCUITS))
+    def test_circuits_validate(self, name):
+        circuit = get_circuit(name)
+        circuit.graph.validate()
+        assert set(circuit.graph.inputs()) == set(circuit.input_ranges)
+
+    def test_unknown_circuit(self):
+        with pytest.raises(DesignError):
+            get_circuit("does-not-exist")
+
+    def test_sequential_flags(self):
+        flags = {c.name: c.sequential for c in all_circuits()}
+        assert flags["fir4"] and flags["iir_biquad"]
+        assert not flags["quadratic"] and not flags["matmul2"]
+
+
+class TestPipelineOnEveryCircuit:
+    @pytest.mark.parametrize("name", sorted(CIRCUITS))
+    def test_all_methods_and_enclosure(self, name):
+        circuit = get_circuit(name)
+        report = SMOKE.analyze(circuit, output=circuit.output)
+        assert len(report.results) == 5
+        for method in ("ia", "aa", "taylor"):
+            assert report.enclosure[method], (
+                f"{name}: {method} bounds {report.result(method).bounds} do not enclose "
+                f"MC [{report.result('montecarlo').lower}, {report.result('montecarlo').upper}]"
+            )
+
+
+class TestBenchDriver:
+    def test_smoke_run_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_analysis.json"
+        code = bench_main(["--smoke", "--samples", "400", "--out", str(out), "--circuit", "quadratic", "--circuit", "fir4"])
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["all_enclosed"] is True
+        assert set(document["circuits"]) == {"quadratic", "fir4"}
+        for entry in document["circuits"].values():
+            assert entry["total_runtime_s"] > 0
+            assert set(entry["results"]) == {"ia", "aa", "taylor", "sna", "montecarlo"}

@@ -1,0 +1,100 @@
+"""Batched simulators: equivalence with scalar paths and input handling."""
+
+import numpy as np
+import pytest
+
+from repro.dfg import (
+    DFGBuilder,
+    simulate,
+    simulate_batch,
+    simulate_fixed_point,
+    simulate_fixed_point_batch,
+    unroll_sequential,
+)
+from repro.errors import DFGError
+from repro.fixedpoint.format import FixedPointFormat
+
+
+def _iir():
+    builder = DFGBuilder("iir1")
+    x = builder.input("x")
+    graph = builder.graph
+    graph.add_delay(name="state")
+    acc = graph.add_add(
+        graph.add_mul(x.node_name, builder.const(0.5).node_name),
+        graph.add_mul("state", builder.const(0.4).node_name),
+    )
+    graph.connect_delay("state", acc)
+    graph.add_output(acc, name="y")
+    graph.validate()
+    return graph
+
+
+def _gain_stage():
+    builder = DFGBuilder("gain")
+    x = builder.input("x")
+    g = builder.input("g")
+    builder.output(x * g, name="y")
+    return builder.build()
+
+
+class TestBatchEquivalence:
+    def test_batch_matches_scalar_float(self):
+        graph = _iir()
+        stimulus = np.random.default_rng(0).uniform(-1, 1, size=(4, 7))
+        batch = simulate_batch(graph, {"x": stimulus})
+        for i in range(4):
+            reference = simulate(graph, {"x": stimulus[i]}).output()
+            assert batch["y"][i] == pytest.approx(reference[-1], abs=1e-12)
+
+    def test_batch_matches_scalar_fixed_point(self):
+        graph = _iir()
+        formats = {name: FixedPointFormat(2, 6) for name in graph.names() if name != "y"}
+        stimulus = np.random.default_rng(1).uniform(-1, 1, size=(4, 5))
+        batch = simulate_fixed_point_batch(graph, {"x": stimulus}, formats)
+        for i in range(4):
+            reference = simulate_fixed_point(graph, {"x": stimulus[i]}, formats).output()
+            assert batch["y"][i] == pytest.approx(reference[-1], abs=1e-12)
+
+    def test_unrolled_graph_matches_time_stepped(self):
+        graph = _iir()
+        unrolled = unroll_sequential(graph, 5)
+        stimulus = np.random.default_rng(2).uniform(-1, 1, size=(3, 5))
+        stepped = simulate_batch(graph, {"x": stimulus})
+        flat = simulate_batch(
+            unrolled.graph, {f"x@{t}": stimulus[:, t] for t in range(5)}
+        )
+        np.testing.assert_allclose(
+            flat[unrolled.graph.outputs()[0]], stepped["y"], atol=1e-12
+        )
+
+
+class TestBatchInputHandling:
+    def test_scalar_broadcasts_against_batch(self):
+        """Regression: a scalar input alongside a sampled one must broadcast."""
+        graph = _gain_stage()
+        xs = np.linspace(-1.0, 1.0, 11)
+        result = simulate_batch(graph, {"x": xs, "g": 0.5})
+        np.testing.assert_allclose(result["y"], 0.5 * xs)
+
+    def test_scalar_first_then_batch(self):
+        graph = _gain_stage()
+        xs = np.linspace(-1.0, 1.0, 11)
+        result = simulate_batch(graph, {"g": 2.0, "x": xs})
+        np.testing.assert_allclose(result["y"], 2.0 * xs)
+
+    def test_mismatched_batches_rejected(self):
+        graph = _gain_stage()
+        with pytest.raises(DFGError):
+            simulate_batch(graph, {"x": np.zeros(10), "g": np.ones(7)})
+
+    def test_record_single_name_string(self):
+        """Regression: record='y' used to be iterated character-by-character."""
+        graph = _gain_stage()
+        result = simulate_batch(graph, {"x": np.ones(3), "g": 2.0}, record="y")
+        np.testing.assert_allclose(result["y"], 2.0)
+
+    def test_record_unknown_node_rejected(self):
+        graph = _gain_stage()
+        with pytest.raises(DFGError):
+            simulate_batch(graph, {"x": 1.0, "g": 1.0}, record=["nope"])

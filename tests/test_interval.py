@@ -1,0 +1,57 @@
+"""Golden values for interval arithmetic, especially ``__pow__`` refinement."""
+
+import pytest
+
+from repro.errors import DivisionByZeroIntervalError
+from repro.intervals.interval import Interval
+
+
+class TestPowDependencyRefinement:
+    def test_even_power_straddling_zero_is_nonnegative(self):
+        assert Interval(-2.0, 3.0) ** 2 == Interval(0.0, 9.0)
+        assert Interval(-3.0, 2.0) ** 2 == Interval(0.0, 9.0)
+        assert Interval(-2.0, 2.0) ** 4 == Interval(0.0, 16.0)
+
+    def test_naive_product_is_wider(self):
+        x = Interval(-2.0, 3.0)
+        assert x * x == Interval(-6.0, 9.0)
+        assert (x**2).width < (x * x).width
+
+    def test_even_power_away_from_zero(self):
+        assert Interval(2.0, 3.0) ** 2 == Interval(4.0, 9.0)
+        assert Interval(-3.0, -2.0) ** 2 == Interval(4.0, 9.0)
+
+    def test_odd_power_is_monotone(self):
+        assert Interval(-3.0, 2.0) ** 3 == Interval(-27.0, 8.0)
+        assert Interval(-3.0, -2.0) ** 3 == Interval(-27.0, -8.0)
+
+    def test_zero_and_one_powers(self):
+        x = Interval(-2.0, 3.0)
+        assert x**0 == Interval(1.0, 1.0)
+        assert x**1 == x
+
+    def test_negative_power_inverts(self):
+        assert (Interval(2.0, 4.0) ** -1).almost_equal(Interval(0.25, 0.5))
+        with pytest.raises(DivisionByZeroIntervalError):
+            Interval(-1.0, 1.0) ** -2
+
+    def test_square_alias(self):
+        assert Interval(-2.0, 3.0).square() == Interval(-2.0, 3.0) ** 2
+
+
+class TestBasicArithmetic:
+    def test_add_sub(self):
+        assert Interval(1.0, 2.0) + Interval(-1.0, 3.0) == Interval(0.0, 5.0)
+        assert Interval(1.0, 2.0) - Interval(-1.0, 3.0) == Interval(-2.0, 3.0)
+
+    def test_mul_sign_cases(self):
+        assert Interval(-2.0, 3.0) * Interval(-1.0, 4.0) == Interval(-8.0, 12.0)
+        assert Interval(-3.0, -1.0) * Interval(-2.0, -1.0) == Interval(1.0, 6.0)
+
+    def test_division(self):
+        assert (Interval(1.0, 2.0) / Interval(2.0, 4.0)).almost_equal(Interval(0.25, 1.0))
+
+    def test_horner_polynomial(self):
+        # 1 + x + x^2 over [-1, 1] in Horner form: (1 + x*(1 + x))
+        result = Interval.evaluate_polynomial([1.0, 1.0, 1.0], Interval(-1.0, 1.0))
+        assert result.contains(Interval(0.75, 3.0))

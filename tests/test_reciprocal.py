@@ -1,0 +1,69 @@
+"""Soundness of the Chebyshev reciprocal in AA and Taylor-model algebras.
+
+Regression for a delta-collapse bug: the secant deviation of ``1/x`` is
+equal at both interval endpoints, so computing ``d_max``/``d_min`` from
+the endpoints made the approximation residue zero and the enclosure
+unsound (the true value escaped it away from the endpoints).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DivisionByZeroIntervalError
+from repro.intervals.affine import AffineContext
+from repro.intervals.taylor import TaylorModel
+
+
+class TestAffineReciprocal:
+    @pytest.mark.parametrize("lo,hi", [(1.0, 4.0), (0.5, 8.0), (-4.0, -1.0), (2.0, 2.0)])
+    def test_pointwise_enclosure(self, lo, hi):
+        context = AffineContext()
+        x = context.variable("x", lo, hi)
+        recip = x.reciprocal()
+        residue = sum(abs(c) for n, c in recip.terms.items() if n != "x")
+        for eps in np.linspace(-1.0, 1.0, 41):
+            point = x.evaluate({"x": eps})
+            linear = recip.center + recip.coefficient("x") * eps
+            assert abs(1.0 / point - linear) <= residue + 1e-12, (eps, point)
+
+    def test_interior_point_was_the_bug(self):
+        """x = 2.5 in [1, 4]: the old code's enclosure was the bare secant."""
+        context = AffineContext()
+        x = context.variable("x", 1.0, 4.0)
+        recip = x.reciprocal()
+        # secant value at eps=0 is 0.625 but 1/2.5 = 0.4: residue must cover it
+        residue = sum(abs(c) for n, c in recip.terms.items() if n != "x")
+        assert residue >= abs(1.0 / 2.5 - recip.center) - 1e-12
+        assert recip.to_interval().contains(0.4, tol=1e-12)
+
+    def test_division_still_guards_zero(self):
+        context = AffineContext()
+        x = context.variable("x", -1.0, 1.0)
+        with pytest.raises(DivisionByZeroIntervalError):
+            x.reciprocal()
+
+
+class TestTaylorReciprocal:
+    @pytest.mark.parametrize("lo,hi", [(1.0, 4.0), (0.5, 8.0), (-4.0, -1.0)])
+    def test_pointwise_enclosure(self, lo, hi):
+        model = TaylorModel.variable("x", lo, hi)
+        recip = model.reciprocal()
+        mid, rad = 0.5 * (lo + hi), 0.5 * (hi - lo)
+        for eps in np.linspace(-1.0, 1.0, 41):
+            point = mid + rad * eps
+            assert recip.evaluate({"x": eps}).contains(1.0 / point, tol=1e-12), (eps, point)
+
+    def test_division_operator(self):
+        numerator = TaylorModel.variable("x", -1.0, 1.0)
+        denominator = TaylorModel.variable("y", 1.0, 2.0)
+        quotient = numerator / denominator
+        # true range of x/y is [-1, 1]; the enclosure must contain it
+        assert quotient.bound().contains(-1.0, tol=1e-9)
+        assert quotient.bound().contains(1.0, tol=1e-9)
+
+    def test_scalar_division(self):
+        model = TaylorModel.variable("x", 1.0, 3.0)
+        assert (model / 2.0).bound().almost_equal((model.scale(0.5)).bound())
+        assert (1.0 / TaylorModel.constant_model(4.0)).constant == pytest.approx(0.25)
+        with pytest.raises(DivisionByZeroIntervalError):
+            model / 0.0
