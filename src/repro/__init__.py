@@ -19,8 +19,12 @@ Subpackages
 ``analysis``
     The end-to-end :class:`~repro.analysis.pipeline.NoiseAnalysisPipeline`
     with Monte-Carlo validation and structured reports.
+``optimize``
+    Word-length optimization: hardware cost model, SNR-constrained
+    problem, and search strategies (uniform / greedy / annealing).
 ``benchmarks``
-    The benchmark circuit library and the timed benchmark driver.
+    The benchmark circuit library and the timed, gated benchmark
+    drivers (analysis and optimization).
 """
 
 __version__ = "0.2.0"

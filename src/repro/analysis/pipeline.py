@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, Iterable, Mapping, Sequence, Tuple, Union
+from typing import Dict, Iterable, Mapping
 
 from repro.analysis.montecarlo import MonteCarloResult, monte_carlo_error
 from repro.analysis.report import AnalysisReport, MethodResult
@@ -36,30 +36,21 @@ from repro.dfg.graph import DFG
 from repro.dfg.range_analysis import infer_ranges
 from repro.errors import NoiseModelError
 from repro.histogram.pdf import HistogramPDF
-from repro.intervals.interval import Interval
+from repro.intervals.interval import Interval, RangeLike, coerce_interval, uniform_power
 from repro.noisemodel.analyzer import ANALYSIS_METHODS, DatapathNoiseAnalyzer
-from repro.noisemodel.assignment import WordLengthAssignment
+from repro.noisemodel.assignment import WordLengthAssignment, ensure_range_coverage
+from repro.optimize import (
+    HardwareCostModel,
+    OptimizationProblem,
+    OptimizationResult,
+    get_optimizer,
+)
 from repro.symbols.expression import Expression
 
 __all__ = ["NoiseAnalysisPipeline", "ALL_METHODS"]
 
 #: Every method the pipeline knows how to run, in canonical order.
 ALL_METHODS = ANALYSIS_METHODS + ("montecarlo",)
-
-RangeLike = Union[Interval, Tuple[float, float], Sequence[float]]
-
-
-def _as_interval(value: RangeLike) -> Interval:
-    if isinstance(value, Interval):
-        return value
-    lo, hi = value
-    return Interval(float(lo), float(hi))
-
-
-def _uniform_power(interval: Interval) -> float:
-    """``E[y^2]`` of a value uniform over ``interval`` (signal-power proxy)."""
-    lo, hi = interval.lo, interval.hi
-    return (lo * lo + lo * hi + hi * hi) / 3.0
 
 
 class NoiseAnalysisPipeline:
@@ -151,10 +142,10 @@ class NoiseAnalysisPipeline:
 
         if assignment is None:
             assignment = WordLengthAssignment.uniform(graph, self.word_length, ranges)
-        assignment = self._ensure_coverage(assignment, ranges)
+        assignment = ensure_range_coverage(assignment, ranges)
 
         out_node = self._resolve_output(graph, output)
-        signal_power = _uniform_power(ranges[out_node])
+        signal_power = uniform_power(ranges[out_node])
 
         analyzer: DatapathNoiseAnalyzer | None = None
         results: Dict[str, MethodResult] = {}
@@ -264,7 +255,7 @@ class NoiseAnalysisPipeline:
             )
         if input_ranges is None:
             raise NoiseModelError("input_ranges is required (none supplied by the circuit)")
-        ranges_in = {str(k): _as_interval(v) for k, v in input_ranges.items()}
+        ranges_in = {str(k): coerce_interval(v) for k, v in input_ranges.items()}
         missing = [n for n in graph.inputs() if n not in ranges_in]
         if missing:
             raise NoiseModelError(f"missing input ranges for: {', '.join(sorted(missing))}")
@@ -298,38 +289,48 @@ class NoiseAnalysisPipeline:
             return output
         raise NoiseModelError(f"unknown output {output!r}; graph outputs: {outputs}")
 
-    def _ensure_coverage(
+    def optimize(
         self,
-        assignment: WordLengthAssignment,
-        ranges: Mapping[str, Interval],
-    ) -> WordLengthAssignment:
-        """Widen formats whose representable range would clip their node.
+        circuit: Expression | DFG,
+        snr_floor_db: float,
+        strategy: str = "greedy",
+        method: str = "aa",
+        *,
+        cost_model: HardwareCostModel | None = None,
+        input_ranges: Mapping[str, RangeLike] | None = None,
+        output: str | None = None,
+        name: str | None = None,
+        margin_db: float = 0.0,
+        max_word_length: int = 28,
+        **strategy_options: object,
+    ) -> OptimizationResult:
+        """Search for a cheap word-length assignment meeting an SNR floor.
 
-        ``integer_bits_for_range`` sizes against the half-open integer
-        range ``[-2**(i-1), 2**(i-1))`` without knowing the fractional
-        precision, so a range ending within one quantization step of the
-        power-of-two boundary can still exceed ``fmt.max_value``.  One
-        extra integer bit closes that gap and keeps the saturation-free
-        premise of the error models honest.
+        Builds an :class:`~repro.optimize.problem.OptimizationProblem`
+        from the circuit (reusing the pipeline's horizon / bins / modes),
+        then runs the requested strategy (``uniform``, ``greedy`` or
+        ``anneal``) against the chosen analysis method.  Returns the full
+        :class:`~repro.optimize.result.OptimizationResult` trace; the
+        final design is ``result.assignment`` and can be fed back into
+        :meth:`analyze` for a complete report.
         """
-        formats = dict(assignment.formats)
-        changed = False
-        for node, fmt in formats.items():
-            interval = ranges.get(node)
-            if interval is None:
-                continue
-            widened = fmt
-            while not (widened.min_value <= interval.lo and interval.hi <= widened.max_value):
-                if widened.integer_bits - fmt.integer_bits >= 4:
-                    raise NoiseModelError(
-                        f"format {fmt.describe()} of node {node!r} cannot cover its range "
-                        f"[{interval.lo}, {interval.hi}] even with 4 extra integer bits; "
-                        "the error models assume a saturation-free datapath"
-                    )
-                widened = widened.with_integer_bits(widened.integer_bits + 1)
-            if widened is not fmt:
-                formats[node] = widened
-                changed = True
-        if not changed:
-            return assignment
-        return WordLengthAssignment(formats, assignment.quantization, assignment.overflow)
+        graph, ranges_in = self._coerce_circuit(circuit, input_ranges, name)
+        if output is None:
+            # honor a duck-typed benchmark circuit's designated output,
+            # matching OptimizationProblem.from_circuit
+            output = getattr(circuit, "output", None)
+        problem = OptimizationProblem(
+            graph,
+            ranges_in,
+            snr_floor_db=snr_floor_db,
+            cost_model=cost_model,
+            method=method,
+            horizon=self.horizon,
+            bins=self.bins,
+            margin_db=margin_db,
+            max_word_length=max_word_length,
+            output=output,
+            name=name or graph.name,
+        )
+        optimizer = get_optimizer(strategy, **strategy_options)
+        return optimizer.optimize(problem)

@@ -1,0 +1,192 @@
+"""Compare two ``bench_analysis`` JSON reports for CI regression gating.
+
+Reads a *base* report (the PR's merge-base) and a *head* report (the PR
+itself), lines up circuits and methods, and renders a markdown diff table
+of bound tightness (enclosure width) and runtime.  The comparison fails
+— non-zero exit — when:
+
+* a method that *enclosed* the Monte-Carlo samples at base no longer
+  does at head (a bound loosened into unsoundness), or
+* a circuit's total runtime regressed by more than ``--max-runtime-ratio``
+  (default 2x) — gated only when the head runtime *and* the absolute
+  growth both exceed ``--runtime-floor`` seconds, so timer noise on
+  trivial circuits (or a cold-cache base measurement) cannot fail a
+  build, or
+* a circuit present at base disappeared at head.
+
+Width changes are reported but not gated: tightening and (sound)
+loosening are quality signals, not correctness regressions.
+
+Usage::
+
+    python -m repro.benchmarks.compare_bench BASE.json HEAD.json \
+        --summary "$GITHUB_STEP_SUMMARY"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+__all__ = ["compare_documents", "render_markdown", "main"]
+
+#: Methods whose bounds are sound enclosures and therefore gated.
+GATED_METHODS = ("ia", "aa", "taylor")
+
+
+def _width(row: dict) -> float:
+    return float(row["upper"]) - float(row["lower"])
+
+
+def _ratio(head: float, base: float) -> float:
+    if base <= 0.0:
+        return math.inf if head > 0.0 else 1.0
+    return head / base
+
+
+def compare_documents(
+    base: dict,
+    head: dict,
+    max_runtime_ratio: float = 2.0,
+    runtime_floor: float = 0.05,
+) -> Tuple[List[dict], List[str]]:
+    """Diff two benchmark documents.
+
+    Returns ``(rows, failures)``: one row per circuit x method with
+    width/runtime ratios and verdicts, plus a flat list of failure
+    messages (empty when the head passes the gate).
+    """
+    rows: List[dict] = []
+    failures: List[str] = []
+    base_circuits = base.get("circuits", {})
+    head_circuits = head.get("circuits", {})
+
+    for circuit, base_entry in base_circuits.items():
+        head_entry = head_circuits.get(circuit)
+        if head_entry is None:
+            failures.append(f"circuit {circuit!r} present at base is missing at head")
+            continue
+        base_total = float(base_entry.get("total_runtime_s", 0.0))
+        head_total = float(head_entry.get("total_runtime_s", 0.0))
+        runtime_ratio = _ratio(head_total, base_total)
+        # Both the ratio and the absolute growth must be significant: a
+        # cold-cache base measurement of a few ms can show a huge ratio
+        # that is pure timer noise.
+        runtime_regressed = (
+            runtime_ratio > max_runtime_ratio
+            and head_total > runtime_floor
+            and head_total - base_total > runtime_floor
+        )
+        if runtime_regressed:
+            failures.append(
+                f"{circuit}: total runtime regressed {runtime_ratio:.2f}x "
+                f"({base_total * 1e3:.1f}ms -> {head_total * 1e3:.1f}ms)"
+            )
+        for method, base_row in base_entry.get("results", {}).items():
+            head_row = head_entry.get("results", {}).get(method)
+            if head_row is None:
+                failures.append(f"{circuit}/{method}: method missing at head")
+                continue
+            base_enclosed = base_entry.get("enclosure", {}).get(method)
+            head_enclosed = head_entry.get("enclosure", {}).get(method)
+            unsound = (
+                method in GATED_METHODS
+                and base_enclosed is True
+                and head_enclosed is False
+            )
+            if unsound:
+                failures.append(
+                    f"{circuit}/{method}: bound loosened to UNSOUND "
+                    "(enclosed Monte-Carlo at base, violates it at head)"
+                )
+            base_width = _width(base_row)
+            head_width = _width(head_row)
+            rows.append(
+                {
+                    "circuit": circuit,
+                    "method": method,
+                    "base_width": base_width,
+                    "head_width": head_width,
+                    "width_ratio": _ratio(head_width, base_width),
+                    "base_runtime_s": float(base_row.get("runtime_s", 0.0)),
+                    "head_runtime_s": float(head_row.get("runtime_s", 0.0)),
+                    "circuit_runtime_ratio": runtime_ratio,
+                    "runtime_regressed": runtime_regressed,
+                    "base_enclosed": base_enclosed,
+                    "head_enclosed": head_enclosed,
+                    "unsound": unsound,
+                }
+            )
+    return rows, failures
+
+
+def render_markdown(rows: List[dict], failures: List[str]) -> str:
+    """Render the diff as a GitHub-flavored markdown job summary."""
+    lines = ["## Benchmark regression: base vs head", ""]
+    if failures:
+        lines.append("**FAILED:**")
+        lines.extend(f"- {message}" for message in failures)
+    else:
+        lines.append("**PASSED** — no unsound bounds, no runtime regression.")
+    lines.append("")
+    lines.append(
+        "| circuit | method | base width | head width | width ratio "
+        "| base t (ms) | head t (ms) | enclosure |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|")
+    for row in rows:
+        if row["unsound"]:
+            verdict = "LOOSENED TO UNSOUND"
+        elif row["head_enclosed"] is None:
+            verdict = "n/a"
+        else:
+            verdict = "sound" if row["head_enclosed"] else "not enclosed"
+        lines.append(
+            f"| {row['circuit']} | {row['method']} "
+            f"| {row['base_width']:.3e} | {row['head_width']:.3e} "
+            f"| {row['width_ratio']:.2f} "
+            f"| {row['base_runtime_s'] * 1e3:.2f} | {row['head_runtime_s'] * 1e3:.2f} "
+            f"| {verdict} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("base", help="benchmark JSON of the merge-base")
+    parser.add_argument("head", help="benchmark JSON of the PR head")
+    parser.add_argument(
+        "--summary",
+        default=None,
+        help="file to append the markdown table to (e.g. $GITHUB_STEP_SUMMARY)",
+    )
+    parser.add_argument("--max-runtime-ratio", type=float, default=2.0)
+    parser.add_argument(
+        "--runtime-floor",
+        type=float,
+        default=0.05,
+        help="ignore runtime ratios when head runtime is below this many seconds",
+    )
+    args = parser.parse_args(argv)
+
+    base = json.loads(Path(args.base).read_text())
+    head = json.loads(Path(args.head).read_text())
+    rows, failures = compare_documents(
+        base,
+        head,
+        max_runtime_ratio=args.max_runtime_ratio,
+        runtime_floor=args.runtime_floor,
+    )
+    markdown = render_markdown(rows, failures)
+    print(markdown)
+    if args.summary:
+        with open(args.summary, "a") as handle:
+            handle.write(markdown)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -124,7 +124,9 @@ class SimulationResult:
         return len(next(iter(self.node_series.values())))
 
 
-def _as_series(graph: DFG, inputs: Mapping[str, Any], length: int | None) -> tuple[Dict[str, np.ndarray], int]:
+def _as_series(
+    graph: DFG, inputs: Mapping[str, Any], length: int | None
+) -> tuple[Dict[str, np.ndarray], int]:
     series: Dict[str, np.ndarray] = {}
     resolved_length = length
     for name in graph.inputs():

@@ -145,5 +145,7 @@ def formats_for_ranges(
         if frac is None:
             continue
         integer_bits = integer_bits_for_range(interval.lo, interval.hi, signed=signed) + margin_bits
-        formats[name] = FixedPointFormat(integer_bits=integer_bits, fractional_bits=int(frac), signed=signed)
+        formats[name] = FixedPointFormat(
+            integer_bits=integer_bits, fractional_bits=int(frac), signed=signed
+        )
     return formats

@@ -22,12 +22,17 @@ from repro.dfg.graph import DFG
 from repro.dfg.node import OpType
 from repro.errors import DFGError
 
-__all__ = ["UnrolledGraph", "unroll_sequential", "instance_name"]
+__all__ = ["UnrolledGraph", "unroll_sequential", "instance_name", "base_name"]
 
 
 def instance_name(base: str, step: int) -> str:
     """Name of the step-``step`` instance of node ``base``."""
     return f"{base}@{step}"
+
+
+def base_name(instance: str) -> str:
+    """Original node name of an unrolled instance (inverse of :func:`instance_name`)."""
+    return instance.split("@", 1)[0]
 
 
 class UnrolledGraph:
@@ -139,7 +144,9 @@ def unroll_sequential(graph: DFG, steps: int, name: str | None = None) -> Unroll
             else:
                 operands = [instances[op][t] for op in node.inputs]
                 instances[base].append(
-                    unrolled.add_node(node.op, operands, name=instance_name(base, t), label=node.label)
+                    unrolled.add_node(
+                        node.op, operands, name=instance_name(base, t), label=node.label
+                    )
                 )
 
     unrolled.validate()

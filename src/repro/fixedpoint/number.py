@@ -66,7 +66,11 @@ class FixedPointNumber:
         overflow: OverflowMode | str | None = None,
     ) -> "FixedPointNumber":
         """Convert to another format, applying precision/overflow effects."""
-        quant = QuantizationMode.coerce(quantization) if quantization is not None else self.quantization
+        quant = (
+            QuantizationMode.coerce(quantization)
+            if quantization is not None
+            else self.quantization
+        )
         over = OverflowMode.coerce(overflow) if overflow is not None else self.overflow
         return FixedPointNumber.from_real(self.value, fmt, quant, over)
 
@@ -96,7 +100,10 @@ class FixedPointNumber:
             return other
         if isinstance(other, (int, float)):
             fmt = FixedPointFormat.for_range(
-                min(0.0, float(other)), max(0.0, float(other)), self.fmt.fractional_bits, signed=True
+                min(0.0, float(other)),
+                max(0.0, float(other)),
+                self.fmt.fractional_bits,
+                signed=True,
             )
             return FixedPointNumber.from_real(float(other), fmt, self.quantization, self.overflow)
         raise FixedPointError(f"cannot combine FixedPointNumber with {type(other).__name__}")

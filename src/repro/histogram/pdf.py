@@ -52,7 +52,8 @@ class HistogramPDF:
             raise HistogramError("edges must be a 1-D array with at least two entries")
         if probs_arr.ndim != 1 or probs_arr.size != edges_arr.size - 1:
             raise HistogramError(
-                f"probs must have len(edges) - 1 = {edges_arr.size - 1} entries, got {probs_arr.size}"
+                f"probs must have len(edges) - 1 = {edges_arr.size - 1} entries, "
+                f"got {probs_arr.size}"
             )
         if np.any(np.diff(edges_arr) <= 0):
             raise HistogramError("edges must be strictly increasing")
@@ -391,7 +392,9 @@ class HistogramPDF:
         ]
         return HistogramPDF.from_weighted_intervals(intervals, bins=self.nbins)
 
-    def apply_monotone(self, func: Callable[[float], float], bins: int | None = None) -> "HistogramPDF":
+    def apply_monotone(
+        self, func: Callable[[float], float], bins: int | None = None
+    ) -> "HistogramPDF":
         """Distribution of ``f(X)`` for a monotone scalar function ``f``."""
         bins = self.nbins if bins is None else int(bins)
         intervals = []
@@ -406,7 +409,9 @@ class HistogramPDF:
     # ------------------------------------------------------------------ #
     # binary arithmetic (independent operands)
     # ------------------------------------------------------------------ #
-    def _combine(self, other: "HistogramPDF | Number", op: str, bins: int | None = None) -> "HistogramPDF":
+    def _combine(
+        self, other: "HistogramPDF | Number", op: str, bins: int | None = None
+    ) -> "HistogramPDF":
         other_pdf = other if isinstance(other, HistogramPDF) else HistogramPDF.point(float(other))
         out_bins = bins if bins is not None else max(self.nbins, other_pdf.nbins)
         edges, probs = combine_histograms(

@@ -21,9 +21,13 @@ from typing import Iterable, Iterator, Sequence, Union
 
 from repro.errors import DivisionByZeroIntervalError, EmptyIntervalError, IntervalError
 
-__all__ = ["Interval"]
+__all__ = ["Interval", "RangeLike", "coerce_interval", "uniform_power"]
 
 Number = Union[int, float]
+
+#: Anything the user-facing APIs accept as a range: an Interval or a
+#: ``(lo, hi)`` pair.
+RangeLike = Union["Interval", tuple[float, float], Sequence[float]]
 
 
 def _as_interval(value: "Interval | Number") -> "Interval":
@@ -32,6 +36,25 @@ def _as_interval(value: "Interval | Number") -> "Interval":
     if isinstance(value, (int, float)):
         return Interval.point(float(value))
     raise TypeError(f"cannot interpret {type(value).__name__} as an Interval")
+
+
+def coerce_interval(value: RangeLike) -> "Interval":
+    """Coerce an ``Interval`` or a ``(lo, hi)`` pair into an ``Interval``."""
+    if isinstance(value, Interval):
+        return value
+    lo, hi = value
+    return Interval(float(lo), float(hi))
+
+
+def uniform_power(interval: "Interval") -> float:
+    """``E[x^2]`` of a value uniform over ``interval``.
+
+    The signal-power proxy shared by the analysis pipeline and the
+    word-length optimizer, so both always judge SNR against the same
+    denominator.
+    """
+    lo, hi = interval.lo, interval.hi
+    return (lo * lo + lo * hi + hi * hi) / 3.0
 
 
 @dataclass(frozen=True)

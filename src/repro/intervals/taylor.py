@@ -55,7 +55,8 @@ class TaylorModel:
             if value == 0.0:
                 continue
             a, b = key
-            self.quadratic[_pair_key(str(a), str(b))] = self.quadratic.get(_pair_key(str(a), str(b)), 0.0) + value
+            key = _pair_key(str(a), str(b))
+            self.quadratic[key] = self.quadratic.get(key, 0.0) + value
         self.remainder = remainder if remainder is not None else Interval.point(0.0)
 
     # ------------------------------------------------------------------ #
@@ -201,8 +202,11 @@ class TaylorModel:
 
         # linear x quadratic and quadratic x quadratic are degree >= 3:
         # bound them into the remainder with |eps| <= 1.
-        def _poly_abs_bound(linear_terms: Mapping[str, float], quad_terms: Mapping[PairKey, float]) -> float:
-            return sum(abs(v) for v in linear_terms.values()) + sum(abs(v) for v in quad_terms.values())
+        def _poly_abs_bound(
+            linear_terms: Mapping[str, float], quad_terms: Mapping[PairKey, float]
+        ) -> float:
+            linear_sum = sum(abs(v) for v in linear_terms.values())
+            return linear_sum + sum(abs(v) for v in quad_terms.values())
 
         cross_hi = (
             _poly_abs_bound(self.linear, {}) * _poly_abs_bound({}, other.quadratic)

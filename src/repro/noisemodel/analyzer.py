@@ -11,7 +11,11 @@ sound enclosure algebra yields sound error bounds:
 * ``sub``:     ``e = e_a - e_b (+ q)``
 * ``mul``:     ``(a + e_a)(b + e_b) - ab = a e_b + b e_a + e_a e_b (+ q)``
 * ``square``:  ``(a + e_a)^2 - a^2 = 2 a e_a + e_a^2 (+ q)``
-* ``div``:     ``(a + e_a)/(b + e_b) - a/b (+ q)`` evaluated directly
+* ``div``:     ``(e_a - (a/b) e_b) / (b + e_b) (+ q)`` — the exact
+  expansion of ``(a + e_a)/(b + e_b) - a/b`` in a form that is *linear*
+  in the errors, so enclosure algebras that linearize division (AA,
+  Taylor) keep the result O(e) instead of leaving an O(1) residual from
+  two independently-approximated divisions
 * ``neg``:     ``e = -e_a``
 
 where ``q`` is the node's own quantization error (a
@@ -42,6 +46,7 @@ from typing import Any, Dict, List, Mapping, Tuple
 
 from repro.dfg.graph import DFG
 from repro.dfg.node import OpType
+from repro.dfg.unroll import base_name as _base_name
 from repro.dfg.unroll import unroll_sequential
 from repro.errors import NoiseModelError
 from repro.histogram.pdf import HistogramPDF
@@ -109,10 +114,6 @@ class NoiseReport:
             "noise_power": self.noise_power,
             "sources": self.source_count,
         }
-
-
-def _base_name(name: str) -> str:
-    return name.split("@", 1)[0]
 
 
 class DatapathNoiseAnalyzer:
@@ -216,7 +217,9 @@ class DatapathNoiseAnalyzer:
             return TaylorModel.constant_model(value)
         return HistogramPDF.point(value)
 
-    def _make_error_term(self, method: str, source: QuantizationSource, context: AffineContext | None) -> Any:
+    def _make_error_term(
+        self, method: str, source: QuantizationSource, context: AffineContext | None
+    ) -> Any:
         interval = source.error_interval
         if method == "ia":
             return interval
@@ -234,7 +237,9 @@ class DatapathNoiseAnalyzer:
     # ------------------------------------------------------------------ #
     # the propagation sweep
     # ------------------------------------------------------------------ #
-    def _propagate(self, method: str) -> tuple[Dict[str, Any], Dict[str, Any], AffineContext | None]:
+    def _propagate(
+        self, method: str
+    ) -> tuple[Dict[str, Any], Dict[str, Any], AffineContext | None]:
         context = AffineContext() if method == "aa" else None
         values: Dict[str, Any] = {}
         errors: Dict[str, Any] = {}
@@ -294,10 +299,21 @@ class DatapathNoiseAnalyzer:
                 ea, eb = errors[a], errors[b]
                 exact = va / vb
                 values[name] = exact
+                # (a+ea)/(b+eb) - a/b == (ea - (a/b)*eb) / (b+eb), which is
+                # linear in the errors; evaluating the difference of the two
+                # divisions directly would leave an O(1) linearization
+                # residual in AA/Taylor because their approximation symbols
+                # are independent and cannot cancel.
                 if _is_zero(ea) and _is_zero(eb):
                     err = 0.0
                 else:
-                    err = (va + ea) / (vb + eb) - exact
+                    numerator: Any = 0.0
+                    if not _is_zero(ea):
+                        numerator = ea
+                    if not _is_zero(eb):
+                        numerator = _add_error(numerator, -(exact * eb))
+                    denominator = vb if _is_zero(eb) else vb + eb
+                    err = numerator / denominator
                 errors[name] = _add_error(err, own)
             else:  # pragma: no cover - DELAY cannot appear after unrolling
                 raise NoiseModelError(f"unexpected operation {node.op!r} in noise propagation")

@@ -18,7 +18,7 @@ from repro.fixedpoint.format import FixedPointFormat, OverflowMode, Quantization
 from repro.intervals.interval import Interval
 from repro.utils.mathutils import integer_bits_for_range
 
-__all__ = ["WordLengthAssignment"]
+__all__ = ["WordLengthAssignment", "ensure_range_coverage"]
 
 
 @dataclass
@@ -50,12 +50,23 @@ class WordLengthAssignment:
         fractional precision.  A node whose range alone needs more integer
         bits than ``word_length`` raises — the uniform design would
         overflow, so the requested word length is simply too small.
+
+        ``ranges`` must cover every non-OUTPUT node of the graph; a node
+        without a range would otherwise surface much later as a
+        ``format_of`` failure far from the cause, so it raises here.
         """
+        uncovered = [
+            node.name for node in graph if node.op is not OpType.OUTPUT and node.name not in ranges
+        ]
+        if uncovered:
+            raise NoiseModelError(
+                "uniform assignment is missing ranges for node(s): "
+                f"{', '.join(sorted(uncovered))}; run range analysis over the whole graph "
+                "(e.g. repro.dfg.range_analysis.infer_ranges) before sizing word lengths"
+            )
         formats: Dict[str, FixedPointFormat] = {}
         for node in graph:
             if node.op is OpType.OUTPUT:
-                continue
-            if node.name not in ranges:
                 continue
             interval = ranges[node.name]
             integer_bits = integer_bits_for_range(interval.lo, interval.hi, signed=signed)
@@ -151,3 +162,41 @@ class WordLengthAssignment:
             f"WordLengthAssignment(nodes={len(self.formats)}, "
             f"W in [{lengths[0]}, {lengths[-1]}], mode={self.quantization.value})"
         )
+
+
+def ensure_range_coverage(
+    assignment: WordLengthAssignment,
+    ranges: Mapping[str, Interval],
+    max_extra_integer_bits: int = 4,
+) -> WordLengthAssignment:
+    """Widen formats whose representable range would clip their node.
+
+    ``integer_bits_for_range`` sizes against the half-open integer range
+    ``[-2**(i-1), 2**(i-1))`` without knowing the fractional precision, so
+    a range ending within one quantization step of the power-of-two
+    boundary can still exceed ``fmt.max_value``.  One extra integer bit
+    closes that gap and keeps the saturation-free premise of the error
+    models honest.  Returns ``assignment`` unchanged when every format
+    already covers its node's range.
+    """
+    formats = dict(assignment.formats)
+    changed = False
+    for node, fmt in formats.items():
+        interval = ranges.get(node)
+        if interval is None:
+            continue
+        widened = fmt
+        while not (widened.min_value <= interval.lo and interval.hi <= widened.max_value):
+            if widened.integer_bits - fmt.integer_bits >= max_extra_integer_bits:
+                raise NoiseModelError(
+                    f"format {fmt.describe()} of node {node!r} cannot cover its range "
+                    f"[{interval.lo}, {interval.hi}] even with {max_extra_integer_bits} "
+                    "extra integer bits; the error models assume a saturation-free datapath"
+                )
+            widened = widened.with_integer_bits(widened.integer_bits + 1)
+        if widened is not fmt:
+            formats[node] = widened
+            changed = True
+    if not changed:
+        return assignment
+    return WordLengthAssignment(formats, assignment.quantization, assignment.overflow)

@@ -1,0 +1,277 @@
+"""HLS hardware cost model: pricing a word-length assignment per operator.
+
+The optimizers need an objective that reacts to every fractional bit they
+shave, so the model prices each dataflow node from the *operand* word
+lengths of the assignment, using classic resource shapes:
+
+* ripple-carry adders / subtractors grow linearly in the wider operand;
+* array multipliers grow with the product of the operand widths (a
+  squarer reuses the symmetric half of its partial-product array);
+* dividers are multiplier-shaped with a larger per-cell constant;
+* every arithmetic op additionally pays per *result* bit for its
+  rounding logic and output drivers (``result_per_bit``), so the format
+  a node rounds into is priced even when no downstream op is widened;
+* delay registers store their *source's* word (a register forwards an
+  already-quantized value, so it is priced at the stored width — shaving
+  a register's own nominal format is neither a hardware saving nor a
+  noise source);
+* constants cost ROM/wiring per stored bit; I/O ports are free.
+
+Cost-table format
+-----------------
+A :class:`CostTable` is a plain frozen dataclass of non-negative
+coefficients (area units per bit, per partial-product cell, or per
+operator).  Two reference tables ship with the package —
+``DEFAULT_COST_TABLE`` (4-input-LUT FPGA flavored) and
+``ASIC_COST_TABLE`` (NAND2-equivalent gate counts) — and any calibration
+can be supplied via ``CostTable.from_dict`` or a literal ``CostTable``:
+
+>>> CostTable.from_dict({"name": "my-lib", "mul_per_bit_pair": 1.5})
+CostTable(name='my-lib', ...)
+
+Every coefficient must be ``>= 0`` so the model stays *monotone*: adding
+bits anywhere can never make the design cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Mapping
+
+from repro.dfg.graph import DFG
+from repro.dfg.node import Node, OpType
+from repro.errors import OptimizationError
+from repro.fixedpoint.format import FixedPointFormat
+from repro.noisemodel.assignment import WordLengthAssignment
+
+__all__ = [
+    "CostTable",
+    "CostBreakdown",
+    "HardwareCostModel",
+    "DEFAULT_COST_TABLE",
+    "ASIC_COST_TABLE",
+    "COST_TABLES",
+]
+
+
+@dataclass(frozen=True)
+class CostTable:
+    """Per-operator area coefficients (see module docstring for the format)."""
+
+    name: str = "custom"
+    add_per_bit: float = 1.0  # full adder cell, per result bit
+    mul_per_bit_pair: float = 0.55  # partial-product cell, per Wa*Wb
+    div_per_bit_pair: float = 2.2  # restoring-divider cell, per Wa*Wb
+    neg_per_bit: float = 0.45  # two's-complement negate, per bit
+    register_per_bit: float = 0.6  # flip-flop, per stored bit
+    const_per_bit: float = 0.12  # ROM / hardwired constant, per bit
+    result_per_bit: float = 0.3  # rounding logic + output drivers, per result bit
+    op_overhead: float = 2.0  # fixed control & steering per arithmetic op
+
+    def __post_init__(self) -> None:
+        for key, value in asdict(self).items():
+            if key == "name":
+                continue
+            if float(value) < 0.0:
+                raise OptimizationError(
+                    f"cost-table coefficient {key} must be >= 0, got {value!r}"
+                )
+
+    def scaled(self, factor: float, name: str | None = None) -> "CostTable":
+        """A copy with every coefficient multiplied by ``factor``."""
+        if factor < 0.0:
+            raise OptimizationError(f"scale factor must be >= 0, got {factor}")
+        fields = {
+            key: value * factor for key, value in asdict(self).items() if key != "name"
+        }
+        return CostTable(name=name or f"{self.name}*{factor:g}", **fields)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CostTable":
+        """Build a table from a plain mapping (unknown keys raise)."""
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = [k for k in data if k not in known]
+        if unknown:
+            raise OptimizationError(
+                f"unknown cost-table key(s): {', '.join(sorted(unknown))}; "
+                f"known keys: {', '.join(sorted(known))}"
+            )
+        return cls(**dict(data))  # type: ignore[arg-type]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict view (JSON-friendly)."""
+        return asdict(self)
+
+
+#: LUT-flavored default calibration (relative area units).
+DEFAULT_COST_TABLE = CostTable(name="lut4-fpga")
+
+#: NAND2-equivalent gate counts for a generic standard-cell flow.
+ASIC_COST_TABLE = CostTable(
+    name="asic-nand2",
+    add_per_bit=9.0,
+    mul_per_bit_pair=6.0,
+    div_per_bit_pair=24.0,
+    neg_per_bit=4.5,
+    register_per_bit=8.0,
+    const_per_bit=0.5,
+    result_per_bit=2.5,
+    op_overhead=6.0,
+)
+
+#: Named reference tables, selectable from CLIs.
+COST_TABLES: Dict[str, CostTable] = {
+    "lut4": DEFAULT_COST_TABLE,
+    "asic": ASIC_COST_TABLE,
+}
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Total and per-node / per-op-class area of one priced design."""
+
+    total: float
+    per_node: Dict[str, float] = field(default_factory=dict)
+    per_op: Dict[str, float] = field(default_factory=dict)
+
+    def dominant(self, count: int = 5) -> list[tuple[str, float]]:
+        """The ``count`` most expensive nodes, descending."""
+        ranked = sorted(self.per_node.items(), key=lambda item: item[1], reverse=True)
+        return ranked[:count]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view."""
+        return {
+            "total": self.total,
+            "per_node": dict(self.per_node),
+            "per_op": dict(self.per_op),
+        }
+
+
+class HardwareCostModel:
+    """Prices a :class:`WordLengthAssignment` on a dataflow graph.
+
+    Sequential designs are priced on the *original* (rolled) graph — the
+    hardware is one instance of each operator plus the delay registers,
+    regardless of the unrolling horizon the error analysis uses.
+    """
+
+    def __init__(self, table: CostTable = DEFAULT_COST_TABLE) -> None:
+        self.table = table
+
+    # ------------------------------------------------------------------ #
+    def _format_of(self, assignment: WordLengthAssignment, name: str) -> FixedPointFormat:
+        fmt = assignment.formats.get(name)
+        if fmt is None:
+            raise OptimizationError(
+                f"node {name!r} has no fixed-point format to price; the cost model "
+                "needs an assignment covering every non-OUTPUT node"
+            )
+        return fmt
+
+    def _operand_width(self, graph: DFG, assignment: WordLengthAssignment, name: str) -> int:
+        """Word length a node presents to its consumers.
+
+        DELAY chains are resolved to the producing node: a register
+        forwards its source's already-quantized word, so its own nominal
+        format is irrelevant to both the noise model and the hardware.
+        """
+        seen = set()
+        while graph.node(name).op is OpType.DELAY:
+            if name in seen:
+                raise OptimizationError(
+                    f"delay cycle through {name!r}; cannot size the register"
+                )
+            seen.add(name)
+            name = graph.node(name).inputs[0]
+        return self._format_of(assignment, name).word_length
+
+    def node_cost(self, graph: DFG, node: Node, assignment: WordLengthAssignment) -> float:
+        """Area of one node under ``assignment`` (0 for pure ports)."""
+        table = self.table
+        if node.op in (OpType.INPUT, OpType.OUTPUT):
+            return 0.0
+        if node.op is OpType.CONST:
+            return table.const_per_bit * self._format_of(assignment, node.name).word_length
+        if node.op is OpType.DELAY:
+            return table.register_per_bit * self._operand_width(graph, assignment, node.name)
+        widths = [self._operand_width(graph, assignment, operand) for operand in node.inputs]
+        rounding = (
+            table.op_overhead
+            + table.result_per_bit * self._format_of(assignment, node.name).word_length
+        )
+        if node.op in (OpType.ADD, OpType.SUB):
+            return rounding + table.add_per_bit * max(widths)
+        if node.op is OpType.NEG:
+            return rounding + table.neg_per_bit * widths[0]
+        if node.op is OpType.MUL:
+            return rounding + table.mul_per_bit_pair * widths[0] * widths[1]
+        if node.op is OpType.SQUARE:
+            w = widths[0]
+            return rounding + table.mul_per_bit_pair * (w * (w + 1)) / 2.0
+        if node.op is OpType.DIV:
+            return rounding + table.div_per_bit_pair * widths[0] * widths[1]
+        raise OptimizationError(f"cannot price operation {node.op!r}")  # pragma: no cover
+
+    def price(self, graph: DFG, assignment: WordLengthAssignment) -> CostBreakdown:
+        """Price the whole design and return the breakdown."""
+        per_node: Dict[str, float] = {}
+        per_op: Dict[str, float] = {}
+        total = 0.0
+        for node in graph:
+            cost = self.node_cost(graph, node, assignment)
+            if cost == 0.0:
+                continue
+            per_node[node.name] = cost
+            per_op[node.op.value] = per_op.get(node.op.value, 0.0) + cost
+            total += cost
+        return CostBreakdown(total=total, per_node=per_node, per_op=per_op)
+
+    def total(self, graph: DFG, assignment: WordLengthAssignment) -> float:
+        """Total area only (cheaper than :meth:`price` for inner loops)."""
+        return sum(self.node_cost(graph, node, assignment) for node in graph)
+
+    @staticmethod
+    def affected_by(graph: DFG, node: str) -> set[str]:
+        """Nodes whose price can change when ``node``'s format changes.
+
+        The node itself, its direct consumers (operand widths), and —
+        because registers forward their source's width — everything a
+        downstream DELAY chain re-exposes that width to.
+        """
+        affected = {node}
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for successor in graph.successors(current):
+                if successor in affected:
+                    continue
+                affected.add(successor)
+                if graph.node(successor).op is OpType.DELAY:
+                    frontier.append(successor)
+        return affected
+
+    def reprice(
+        self,
+        graph: DFG,
+        before: WordLengthAssignment,
+        after: WordLengthAssignment,
+        nodes: set[str],
+    ) -> float:
+        """Cost delta (after - before) when only ``nodes`` can have changed.
+
+        Pass :meth:`affected_by` of every mutated node; equals
+        ``total(after) - total(before)`` at a fraction of the price.
+        """
+        delta = 0.0
+        for name in nodes:
+            node = graph.node(name)
+            delta += self.node_cost(graph, node, after) - self.node_cost(graph, node, before)
+        return delta
+
+    def with_table(self, table: CostTable) -> "HardwareCostModel":
+        """A model over a different cost table."""
+        return HardwareCostModel(table)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HardwareCostModel(table={self.table.name!r})"

@@ -1,0 +1,352 @@
+"""The SNR-constrained word-length optimization problem.
+
+An :class:`OptimizationProblem` bundles everything a strategy needs:
+
+* the circuit (graph + input ranges) and the analysis output to protect;
+* the constraint — an output SNR floor in dB (plus an optional safety
+  margin the analytic model must clear);
+* the objective — a :class:`~repro.optimize.cost.HardwareCostModel`;
+* one noise-analysis method (``ia`` / ``aa`` / ``taylor`` / ``sna``)
+  used to judge feasibility, with an analyzer-call counter so strategies
+  can report how much analysis their search spent;
+* precomputed per-node noise gains (one adjoint sweep over the unrolled
+  graph), which let greedy strategies *rank* bit-shaving candidates
+  without re-analyzing the whole graph for every candidate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.dfg.graph import DFG
+from repro.dfg.node import OpType
+from repro.dfg.range_analysis import infer_ranges
+from repro.dfg.unroll import base_name as _base_name
+from repro.dfg.unroll import unroll_sequential
+from repro.errors import OptimizationError
+from repro.intervals.interval import Interval, RangeLike, coerce_interval, uniform_power
+from repro.noisemodel.analyzer import ANALYSIS_METHODS, DatapathNoiseAnalyzer
+from repro.noisemodel.assignment import WordLengthAssignment, ensure_range_coverage
+from repro.noisemodel.gains import transfer_gains
+from repro.optimize.cost import CostBreakdown, HardwareCostModel
+from repro.utils.mathutils import integer_bits_for_range
+
+__all__ = ["DesignEvaluation", "OptimizationProblem"]
+
+
+@dataclass(frozen=True)
+class DesignEvaluation:
+    """One analyzed candidate: its cost, achieved SNR and feasibility."""
+
+    assignment: WordLengthAssignment
+    cost: float
+    snr_db: float
+    noise_power: float
+    feasible: bool
+    breakdown: CostBreakdown
+    index: int  # analyzer-call number that produced this evaluation
+
+
+class OptimizationProblem:
+    """Circuit + SNR floor + cost model, ready for a strategy to search.
+
+    Parameters
+    ----------
+    graph:
+        The dataflow graph (combinational or sequential).
+    input_ranges:
+        Range of every external input.
+    snr_floor_db:
+        The constraint: achieved output SNR must be at least this.
+    cost_model:
+        Objective; defaults to :class:`HardwareCostModel` over the
+        default LUT table.
+    method:
+        Noise-analysis method that judges feasibility.
+    margin_db:
+        Extra dB the *analytic* SNR must clear above the floor — a
+        safety margin against model/Monte-Carlo mismatch.
+    min_fractional_bits / max_word_length:
+        Box constraints of the search space.
+    horizon / bins:
+        Analyzer configuration (see :class:`DatapathNoiseAnalyzer`).
+    """
+
+    def __init__(
+        self,
+        graph: DFG,
+        input_ranges: Mapping[str, RangeLike],
+        snr_floor_db: float,
+        cost_model: HardwareCostModel | None = None,
+        method: str = "aa",
+        horizon: int = 8,
+        bins: int = 32,
+        margin_db: float = 0.0,
+        min_fractional_bits: int = 0,
+        max_word_length: int = 28,
+        quantization: str = "round",
+        overflow: str = "saturate",
+        output: str | None = None,
+        name: str | None = None,
+    ) -> None:
+        method = str(method).lower()
+        if method not in ANALYSIS_METHODS:
+            raise OptimizationError(
+                f"unknown analysis method {method!r}; choose from {ANALYSIS_METHODS}"
+            )
+        if margin_db < 0.0:
+            raise OptimizationError(f"margin_db must be >= 0, got {margin_db}")
+        if min_fractional_bits < 0:
+            raise OptimizationError(
+                f"min_fractional_bits must be >= 0, got {min_fractional_bits}"
+            )
+        self.graph = graph
+        self.input_ranges = {str(k): coerce_interval(v) for k, v in input_ranges.items()}
+        missing = [n for n in graph.inputs() if n not in self.input_ranges]
+        if missing:
+            raise OptimizationError(f"missing input ranges for: {', '.join(sorted(missing))}")
+        self.snr_floor_db = float(snr_floor_db)
+        self.cost_model = cost_model or HardwareCostModel()
+        self.method = method
+        self.horizon = int(horizon)
+        self.bins = int(bins)
+        self.margin_db = float(margin_db)
+        self.min_fractional_bits = int(min_fractional_bits)
+        self.max_word_length = int(max_word_length)
+        self.quantization = quantization
+        self.overflow = overflow
+        self.name = name or graph.name
+
+        range_result = infer_ranges(graph, self.input_ranges)
+        if not range_result.converged:
+            raise OptimizationError(
+                f"range analysis of {graph.name!r} did not converge after "
+                f"{range_result.iterations} iterations (unstable feedback?)"
+            )
+        self.ranges: Dict[str, Interval] = range_result.ranges
+
+        outputs = graph.outputs()
+        if not outputs:
+            raise OptimizationError(f"graph {graph.name!r} has no outputs")
+        if output is None:
+            output = outputs[0]
+        elif output not in outputs:
+            raise OptimizationError(f"unknown output {output!r}; graph outputs: {outputs}")
+        self.output = output
+        self.signal_power = uniform_power(self.ranges[output])
+
+        #: Per-node minimum integer bits (range-derived, fixed during search).
+        self.integer_bits: Dict[str, int] = {
+            node.name: integer_bits_for_range(
+                self.ranges[node.name].lo, self.ranges[node.name].hi, signed=True
+            )
+            for node in graph
+            if node.op is not OpType.OUTPUT
+        }
+        #: Nodes whose fractional precision a strategy may change.  DELAY
+        #: registers are excluded: they forward already-quantized values,
+        #: so their nominal format neither injects noise nor sizes hardware.
+        self.tunable: list[str] = [
+            node.name
+            for node in graph
+            if node.op not in (OpType.OUTPUT, OpType.DELAY)
+        ]
+
+        #: Analyzer invocations so far (strategies report deltas of this).
+        self.analyzer_calls = 0
+        self._uniform_cache: Dict[int, DesignEvaluation] = {}
+        self._gain_sq: Dict[str, float] | None = None
+        self._gain_abs: Dict[str, float] | None = None
+
+    # ------------------------------------------------------------------ #
+    # candidate construction
+    # ------------------------------------------------------------------ #
+    @property
+    def min_word_length(self) -> int:
+        """Smallest uniform word length whose integer parts all fit."""
+        return max(self.integer_bits.values(), default=1)
+
+    def uniform(self, word_length: int) -> WordLengthAssignment:
+        """Coverage-widened uniform assignment at ``word_length`` bits."""
+        assignment = WordLengthAssignment.uniform(
+            self.graph,
+            word_length,
+            self.ranges,
+            quantization=self.quantization,
+            overflow=self.overflow,
+        )
+        return ensure_range_coverage(assignment, self.ranges)
+
+    def max_fractional_bits(self, node: str) -> int:
+        """Largest fractional precision of ``node`` under the word cap."""
+        return self.max_word_length - self.integer_bits.get(node, 1)
+
+    def evaluate_uniform(self, word_length: int) -> DesignEvaluation:
+        """Cached :meth:`evaluate` of the uniform design at ``word_length``.
+
+        Every strategy climbs the same uniform ladder to find its
+        baseline; on a shared problem the cache means only the first
+        strategy pays the analyzer for it.
+        """
+        cached = self._uniform_cache.get(word_length)
+        if cached is None:
+            cached = self.evaluate(self.uniform(word_length))
+            self._uniform_cache[word_length] = cached
+        return cached
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, assignment: WordLengthAssignment) -> DesignEvaluation:
+        """Analyze one candidate (one analyzer call) and price it.
+
+        The assignment is coverage-widened first: shaving fractional bits
+        *lowers* a format's ``max_value`` (``2**(i-1) - 2**-f``), so a
+        node whose range ends within one old quantization step of the
+        power-of-two boundary can start clipping after a shave — which
+        would break the saturation-free premise of the error models.  The
+        returned evaluation carries (and prices) the widened assignment;
+        strategies must continue from ``evaluation.assignment``.
+        """
+        assignment = ensure_range_coverage(assignment, self.ranges)
+        analyzer = DatapathNoiseAnalyzer(
+            self.graph,
+            assignment,
+            self.input_ranges,
+            horizon=self.horizon,
+            bins=self.bins,
+        )
+        report = analyzer.analyze(self.method, output=self.output)
+        self.analyzer_calls += 1
+        snr_db = report.snr_db(self.signal_power)
+        breakdown = self.cost_model.price(self.graph, assignment)
+        return DesignEvaluation(
+            assignment=assignment,
+            cost=breakdown.total,
+            snr_db=snr_db,
+            noise_power=report.noise_power,
+            feasible=snr_db >= self.snr_floor_db + self.margin_db,
+            breakdown=breakdown,
+            index=self.analyzer_calls,
+        )
+
+    def monte_carlo_snr(
+        self, assignment: WordLengthAssignment, samples: int = 20_000, seed: int | None = 0
+    ) -> float:
+        """Measured SNR of a design under the bit-true Monte-Carlo simulator."""
+        # Local import: repro.analysis imports repro.optimize at module
+        # scope (pipeline wiring); importing back lazily avoids the cycle.
+        from repro.analysis.montecarlo import monte_carlo_error
+
+        result = monte_carlo_error(
+            self.graph,
+            assignment,
+            self.input_ranges,
+            samples=samples,
+            steps=self.horizon,
+            output=self.output,
+            rng=seed,
+        )
+        if result.noise_power <= 0.0:
+            return float("inf")
+        if self.signal_power <= 0.0:
+            return float("-inf")
+        return 10.0 * math.log10(self.signal_power / result.noise_power)
+
+    # ------------------------------------------------------------------ #
+    # gain-based candidate ranking (no analyzer calls)
+    # ------------------------------------------------------------------ #
+    def _compute_gains(self) -> None:
+        if self.graph.is_sequential:
+            unrolled = unroll_sequential(self.graph, self.horizon)
+            work = unrolled.graph
+            target = unrolled.final_instance(self.output)
+            inst_ranges = {
+                inst: self.ranges.get(_base_name(inst), Interval.point(0.0))
+                for inst in work.names()
+            }
+        else:
+            work = self.graph
+            target = self.output
+            inst_ranges = self.ranges
+        profile = transfer_gains(work, inst_ranges, output=target)
+        gain_sq: Dict[str, float] = {}
+        gain_abs: Dict[str, float] = {}
+        for inst in work.names():
+            base = _base_name(inst)
+            magnitude = profile.magnitude_of(inst)
+            gain_sq[base] = gain_sq.get(base, 0.0) + magnitude * magnitude
+            gain_abs[base] = gain_abs.get(base, 0.0) + magnitude
+        self._gain_sq = gain_sq
+        self._gain_abs = gain_abs
+
+    def noise_gain(self, node: str) -> float:
+        """Sum over time instances of the squared output gain of ``node``."""
+        if self._gain_sq is None:
+            self._compute_gains()
+        assert self._gain_sq is not None
+        return self._gain_sq.get(node, 0.0)
+
+    def predicted_noise_increase(
+        self, assignment: WordLengthAssignment, node: str, new_fractional_bits: int
+    ) -> float:
+        """Cheap estimate of the output noise-power increase of one shave.
+
+        Uses the precomputed adjoint gains: for a rounding source the
+        per-instance variance is ``q^2/12``, so the aggregate delta is
+        ``sum(g^2) * (q_new^2 - q_old^2)/12``.  Constants inject a
+        *deterministic* residue instead, estimated through the absolute
+        gain.  Only a ranking heuristic — acceptance is always decided by
+        a real analyzer call.
+        """
+        fmt = assignment.format_of(node)
+        node_obj = self.graph.node(node)
+        if node_obj.op is OpType.CONST:
+            from repro.fixedpoint.quantize import quantize
+
+            value = float(node_obj.value)
+            old_res = quantize(value, fmt, assignment.quantization, assignment.overflow) - value
+            new_fmt = fmt.with_fractional_bits(new_fractional_bits)
+            new_res = quantize(value, new_fmt, assignment.quantization, assignment.overflow) - value
+            if self._gain_abs is None:
+                self._compute_gains()
+            assert self._gain_abs is not None
+            gain = self._gain_abs.get(node, 0.0)
+            return max(0.0, (gain * new_res) ** 2 - (gain * old_res) ** 2)
+        q_old = 2.0 ** (-fmt.fractional_bits)
+        q_new = 2.0 ** (-new_fractional_bits)
+        return self.noise_gain(node) * (q_new * q_new - q_old * q_old) / 12.0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_circuit(
+        cls,
+        circuit: object,
+        snr_floor_db: float,
+        input_ranges: Mapping[str, RangeLike] | None = None,
+        **options: object,
+    ) -> "OptimizationProblem":
+        """Build a problem from a duck-typed benchmark circuit or a DFG."""
+        if isinstance(circuit, DFG):
+            graph = circuit
+        elif hasattr(circuit, "graph") and hasattr(circuit, "input_ranges"):
+            graph = circuit.graph
+            if input_ranges is None:
+                input_ranges = circuit.input_ranges
+            options.setdefault("name", getattr(circuit, "name", None))
+            options.setdefault("output", getattr(circuit, "output", None))
+        else:
+            raise OptimizationError(
+                f"cannot optimize {type(circuit).__name__}; pass a DFG or a benchmark circuit"
+            )
+        if input_ranges is None:
+            raise OptimizationError("input_ranges is required (none supplied by the circuit)")
+        return cls(graph, input_ranges, snr_floor_db, **options)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OptimizationProblem({self.name!r}, method={self.method!r}, "
+            f"floor={self.snr_floor_db:.1f}dB, nodes={len(self.tunable)} tunable)"
+        )

@@ -1,0 +1,128 @@
+"""Structured traces of a word-length optimization run.
+
+Every strategy returns the same :class:`OptimizationResult` shape — final
+design, cost, achieved SNR, a per-iteration :class:`IterationRecord`
+trail, analyzer-call count and wall time — so benchmark drivers and CI
+can diff strategies without knowing how each one searches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.noisemodel.assignment import WordLengthAssignment
+
+__all__ = ["IterationRecord", "OptimizationResult"]
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One step of a strategy's search trajectory.
+
+    ``action`` is a short human-readable move description (e.g.
+    ``"uniform W=14"`` or ``"shave mul_0 -> 9 frac"``); ``accepted`` is
+    False for probed-and-rejected moves, which still cost an analyzer
+    call and belong in the trace.
+    """
+
+    index: int
+    action: str
+    cost: float
+    snr_db: float
+    feasible: bool
+    accepted: bool
+    analyzer_calls: int
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view."""
+        return {
+            "index": self.index,
+            "action": self.action,
+            "cost": self.cost,
+            "snr_db": self.snr_db,
+            "feasible": self.feasible,
+            "accepted": self.accepted,
+            "analyzer_calls": self.analyzer_calls,
+        }
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimizer run on one problem.
+
+    ``baseline_cost`` / ``baseline_word_length`` describe the cheapest
+    *feasible uniform* design found during the run — the paper's
+    reference point — so ``improvement`` is directly the headline
+    "optimized vs uniform" number.  ``feasible`` is False when no design
+    meeting the SNR floor was found at all (then ``assignment`` is the
+    best infeasible attempt, or ``None``).
+    """
+
+    strategy: str
+    method: str
+    circuit: str
+    snr_floor_db: float
+    margin_db: float
+    assignment: WordLengthAssignment | None
+    cost: float
+    snr_db: float
+    feasible: bool
+    baseline_cost: float | None = None
+    baseline_word_length: int | None = None
+    iterations: List[IterationRecord] = field(default_factory=list)
+    analyzer_calls: int = 0
+    runtime_s: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float | None:
+        """Fractional cost saving vs the uniform baseline (None if unknown)."""
+        if self.baseline_cost is None or self.baseline_cost <= 0.0:
+            return None
+        return (self.baseline_cost - self.cost) / self.baseline_cost
+
+    @property
+    def total_bits(self) -> int:
+        """Total bits of the returned design (0 when infeasible/empty)."""
+        return self.assignment.total_bits() if self.assignment is not None else 0
+
+    def to_dict(self, include_trace: bool = True) -> dict:
+        """JSON-serializable view (optionally without the iteration trail)."""
+        doc = {
+            "strategy": self.strategy,
+            "method": self.method,
+            "circuit": self.circuit,
+            "snr_floor_db": self.snr_floor_db,
+            "margin_db": self.margin_db,
+            "cost": self.cost,
+            "snr_db": self.snr_db,
+            "feasible": self.feasible,
+            "baseline_cost": self.baseline_cost,
+            "baseline_word_length": self.baseline_word_length,
+            "improvement": self.improvement,
+            "total_bits": self.total_bits,
+            "word_lengths": (
+                dict(self.assignment.word_lengths()) if self.assignment is not None else {}
+            ),
+            "iteration_count": len(self.iterations),
+            "analyzer_calls": self.analyzer_calls,
+            "runtime_s": self.runtime_s,
+        }
+        if self.extra:
+            doc["extra"] = dict(self.extra)
+        if include_trace:
+            doc["iterations"] = [record.to_dict() for record in self.iterations]
+        return doc
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        verdict = "feasible" if self.feasible else "INFEASIBLE"
+        saving = self.improvement
+        saving_txt = f" (-{saving * 100.0:.1f}% vs uniform)" if saving is not None else ""
+        return (
+            f"{self.circuit}/{self.method}/{self.strategy}: cost={self.cost:.1f}"
+            f"{saving_txt} snr={self.snr_db:.1f}dB {verdict} "
+            f"[{len(self.iterations)} iters, {self.analyzer_calls} analyses, "
+            f"{self.runtime_s * 1e3:.0f}ms]"
+        )

@@ -1,0 +1,379 @@
+"""Word-length search strategies: uniform sweep, greedy descent, annealing.
+
+All strategies answer the same question — the cheapest per-node
+word-length assignment whose analyzed output SNR clears the floor — and
+return the same :class:`~repro.optimize.result.OptimizationResult`:
+
+* :class:`UniformSweepOptimizer` is the paper's baseline: one shared word
+  length everywhere, increased until feasible.  Because hardware cost is
+  monotone in word length, the first feasible sweep point is also the
+  cheapest feasible uniform design.
+* :class:`GreedyBitStealingOptimizer` starts from a feasible uniform
+  design (optionally with a little headroom above the cheapest one) and
+  repeatedly shaves the fractional bit with the best cost-saved /
+  noise-added ratio.  Candidates are *ranked* with the problem's
+  precomputed adjoint noise gains — no analyzer call per candidate — and
+  only the chosen shave is re-analyzed; an infeasible shave blocks that
+  node for the rest of the descent (noise only grows, so a failed shave
+  can never become feasible later).
+* :class:`SimulatedAnnealingOptimizer` performs Metropolis moves (+-1
+  fractional bit on a random node) over an energy mixing cost with an
+  SNR-deficit penalty, keeping the best feasible design it visits.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import time
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import NoiseModelError, OptimizationError
+from repro.optimize.problem import DesignEvaluation, OptimizationProblem
+from repro.optimize.result import IterationRecord, OptimizationResult
+
+__all__ = [
+    "WordLengthOptimizer",
+    "UniformSweepOptimizer",
+    "GreedyBitStealingOptimizer",
+    "SimulatedAnnealingOptimizer",
+    "OPTIMIZERS",
+    "get_optimizer",
+]
+
+
+def _record(
+    trace: List[IterationRecord],
+    problem: OptimizationProblem,
+    action: str,
+    evaluation: DesignEvaluation,
+    accepted: bool,
+) -> None:
+    trace.append(
+        IterationRecord(
+            index=len(trace),
+            action=action,
+            cost=evaluation.cost,
+            snr_db=evaluation.snr_db,
+            feasible=evaluation.feasible,
+            accepted=accepted,
+            analyzer_calls=problem.analyzer_calls,
+        )
+    )
+
+
+def _sweep_uniform(
+    problem: OptimizationProblem, trace: List[IterationRecord]
+) -> Tuple[DesignEvaluation | None, int | None, DesignEvaluation | None]:
+    """Scan uniform word lengths upward; first feasible one is cheapest.
+
+    Returns ``(feasible_eval, word_length, last_eval)``; the first two are
+    ``None`` when no uniform design up to ``max_word_length`` is feasible.
+    """
+    last: DesignEvaluation | None = None
+    for word_length in range(problem.min_word_length, problem.max_word_length + 1):
+        try:
+            evaluation = problem.evaluate_uniform(word_length)
+        except NoiseModelError:
+            continue
+        last = evaluation
+        _record(trace, problem, f"uniform W={word_length}", evaluation, evaluation.feasible)
+        if evaluation.feasible:
+            return evaluation, word_length, evaluation
+    return None, None, last
+
+
+class WordLengthOptimizer(abc.ABC):
+    """Common interface: ``optimize(problem) -> OptimizationResult``."""
+
+    name: str = "abstract"
+
+    def optimize(self, problem: OptimizationProblem) -> OptimizationResult:
+        """Run the search, timing it and accounting analyzer calls."""
+        trace: List[IterationRecord] = []
+        calls_before = problem.analyzer_calls
+        started = time.perf_counter()
+        best, baseline_cost, baseline_w = self._search(problem, trace)
+        runtime = time.perf_counter() - started
+        if best is None:
+            return OptimizationResult(
+                strategy=self.name,
+                method=problem.method,
+                circuit=problem.name,
+                snr_floor_db=problem.snr_floor_db,
+                margin_db=problem.margin_db,
+                assignment=None,
+                cost=float("inf"),
+                snr_db=float("-inf"),
+                feasible=False,
+                baseline_cost=baseline_cost,
+                baseline_word_length=baseline_w,
+                iterations=trace,
+                analyzer_calls=problem.analyzer_calls - calls_before,
+                runtime_s=runtime,
+            )
+        return OptimizationResult(
+            strategy=self.name,
+            method=problem.method,
+            circuit=problem.name,
+            snr_floor_db=problem.snr_floor_db,
+            margin_db=problem.margin_db,
+            assignment=best.assignment,
+            cost=best.cost,
+            snr_db=best.snr_db,
+            feasible=best.feasible,
+            baseline_cost=baseline_cost,
+            baseline_word_length=baseline_w,
+            iterations=trace,
+            analyzer_calls=problem.analyzer_calls - calls_before,
+            runtime_s=runtime,
+        )
+
+    @abc.abstractmethod
+    def _search(
+        self, problem: OptimizationProblem, trace: List[IterationRecord]
+    ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
+        """Return ``(best_eval, baseline_cost, baseline_word_length)``."""
+
+
+class UniformSweepOptimizer(WordLengthOptimizer):
+    """The paper's baseline: one word length everywhere, swept upward."""
+
+    name = "uniform"
+
+    def _search(
+        self, problem: OptimizationProblem, trace: List[IterationRecord]
+    ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
+        evaluation, word_length, _last = _sweep_uniform(problem, trace)
+        if evaluation is None:
+            return None, None, None
+        return evaluation, evaluation.cost, word_length
+
+
+class GreedyBitStealingOptimizer(WordLengthOptimizer):
+    """Feasible-start descent shaving the best cost/noise fractional bit.
+
+    Parameters
+    ----------
+    headroom:
+        Extra uniform bits above the cheapest feasible word length to
+        start the descent from (a second descent always starts at the
+        cheapest feasible uniform itself; the better outcome wins).  More
+        headroom gives the shaver more SNR slack to trade for area.
+    max_iterations:
+        Hard cap on descent steps (guards pathological problems).
+    """
+
+    name = "greedy"
+
+    def __init__(self, headroom: int = 2, max_iterations: int = 400) -> None:
+        if headroom < 0:
+            raise OptimizationError(f"headroom must be >= 0, got {headroom}")
+        self.headroom = int(headroom)
+        self.max_iterations = int(max_iterations)
+
+    def _search(
+        self, problem: OptimizationProblem, trace: List[IterationRecord]
+    ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
+        uniform_eval, uniform_w, _last = _sweep_uniform(problem, trace)
+        if uniform_eval is None or uniform_w is None:
+            return None, None, None
+
+        starts: Dict[int, DesignEvaluation] = {uniform_w: uniform_eval}
+        headroom_w = min(uniform_w + self.headroom, problem.max_word_length)
+        if headroom_w != uniform_w:
+            evaluation = problem.evaluate_uniform(headroom_w)
+            _record(trace, problem, f"headroom start W={headroom_w}", evaluation, True)
+            starts[headroom_w] = evaluation
+
+        best = uniform_eval
+        for word_length, start in starts.items():
+            final = self._descend(problem, start, trace, f"W{word_length}")
+            if final.feasible and final.cost < best.cost:
+                best = final
+        return best, uniform_eval.cost, uniform_w
+
+    def _descend(
+        self,
+        problem: OptimizationProblem,
+        start: DesignEvaluation,
+        trace: List[IterationRecord],
+        tag: str,
+    ) -> DesignEvaluation:
+        current = start
+        blocked: set[str] = set()
+        for _step in range(self.max_iterations):
+            candidate = self._best_candidate(problem, current, blocked)
+            if candidate is None:
+                break
+            node, new_frac = candidate
+            shaved = current.assignment.with_fractional_bits(node, new_frac)
+            evaluation = problem.evaluate(shaved)
+            action = f"[{tag}] shave {node} -> {new_frac} frac"
+            # evaluate() may have coverage-widened the shaved assignment,
+            # which can cost more than the shave saved — accept only
+            # feasible moves that actually got cheaper.
+            if evaluation.feasible and evaluation.cost < current.cost:
+                _record(trace, problem, action, evaluation, True)
+                current = evaluation
+            else:
+                _record(trace, problem, action, evaluation, False)
+                blocked.add(node)
+        return current
+
+    def _best_candidate(
+        self,
+        problem: OptimizationProblem,
+        current: DesignEvaluation,
+        blocked: set[str],
+    ) -> Tuple[str, int] | None:
+        """Rank one-bit shaves by cost saved per predicted noise added."""
+        best_node: str | None = None
+        best_frac = 0
+        best_score = 0.0
+        for node in problem.tunable:
+            if node in blocked:
+                continue
+            fmt = current.assignment.formats.get(node)
+            if fmt is None or fmt.fractional_bits <= problem.min_fractional_bits:
+                continue
+            new_frac = fmt.fractional_bits - 1
+            shaved = current.assignment.with_fractional_bits(node, new_frac)
+            saved = -problem.cost_model.reprice(
+                problem.graph,
+                current.assignment,
+                shaved,
+                problem.cost_model.affected_by(problem.graph, node),
+            )
+            if saved <= 0.0:
+                continue
+            added = problem.predicted_noise_increase(current.assignment, node, new_frac)
+            score = saved / max(added, 1e-30)
+            if best_node is None or score > best_score:
+                best_node, best_frac, best_score = node, new_frac, score
+        if best_node is None:
+            return None
+        return best_node, best_frac
+
+
+class SimulatedAnnealingOptimizer(WordLengthOptimizer):
+    """Metropolis search over per-node fractional bits.
+
+    Energy is ``cost + penalty * SNR-deficit`` so infeasible states are
+    strongly discouraged but still traversable at high temperature.  The
+    best *feasible* design ever visited is returned (never worse than the
+    cheapest feasible uniform, which seeds the search).
+    """
+
+    name = "anneal"
+
+    def __init__(
+        self,
+        iterations: int = 150,
+        seed: int = 0,
+        cooling: float = 0.95,
+        headroom: int = 0,
+        initial_temperature_scale: float = 0.05,
+        downhill_bias: float = 0.65,
+    ) -> None:
+        if iterations < 1:
+            raise OptimizationError(f"iterations must be >= 1, got {iterations}")
+        if not (0.0 < cooling <= 1.0):
+            raise OptimizationError(f"cooling must be in (0, 1], got {cooling}")
+        if not (0.0 <= downhill_bias <= 1.0):
+            raise OptimizationError(f"downhill_bias must be in [0, 1], got {downhill_bias}")
+        self.iterations = int(iterations)
+        self.seed = seed
+        self.cooling = float(cooling)
+        self.headroom = int(headroom)
+        self.initial_temperature_scale = float(initial_temperature_scale)
+        self.downhill_bias = float(downhill_bias)
+
+    def _energy(
+        self, problem: OptimizationProblem, evaluation: DesignEvaluation, scale: float
+    ) -> float:
+        deficit = max(0.0, problem.snr_floor_db + problem.margin_db - evaluation.snr_db)
+        return evaluation.cost + scale * deficit
+
+    def _search(
+        self, problem: OptimizationProblem, trace: List[IterationRecord]
+    ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
+        uniform_eval, uniform_w, _last = _sweep_uniform(problem, trace)
+        if uniform_eval is None or uniform_w is None:
+            return None, None, None
+
+        rng = np.random.default_rng(self.seed)
+        start_w = min(uniform_w + self.headroom, problem.max_word_length)
+        if start_w != uniform_w:
+            current = problem.evaluate_uniform(start_w)
+            _record(trace, problem, f"anneal start W={start_w}", current, True)
+        else:
+            current = uniform_eval
+        best = uniform_eval if uniform_eval.cost <= current.cost else current
+        if not best.feasible:  # pragma: no cover - both seeds are feasible
+            best = uniform_eval
+
+        # 1 dB of SNR deficit costs as much as the whole uniform design:
+        # high temperature can wander, low temperature cannot stay infeasible.
+        penalty_scale = uniform_eval.cost
+        temperature = max(self.initial_temperature_scale * current.cost, 1e-9)
+        tunable = [
+            node
+            for node in problem.tunable
+            if current.assignment.formats.get(node) is not None
+        ]
+        if not tunable:
+            return best, uniform_eval.cost, uniform_w
+
+        current_energy = self._energy(problem, current, penalty_scale)
+        for _step in range(self.iterations):
+            node = tunable[int(rng.integers(len(tunable)))]
+            fmt = current.assignment.format_of(node)
+            step = -1 if rng.random() < self.downhill_bias else +1
+            new_frac = fmt.fractional_bits + step
+            new_frac = max(problem.min_fractional_bits, new_frac)
+            # clamp against the format's *actual* integer bits (coverage
+            # widening may have added some), so the word cap truly holds
+            new_frac = min(problem.max_word_length - fmt.integer_bits, new_frac)
+            if new_frac == fmt.fractional_bits:
+                continue
+            candidate = problem.evaluate(
+                current.assignment.with_fractional_bits(node, new_frac)
+            )
+            candidate_energy = self._energy(problem, candidate, penalty_scale)
+            delta = candidate_energy - current_energy
+            accept = delta <= 0.0 or rng.random() < math.exp(-delta / temperature)
+            _record(
+                trace,
+                problem,
+                f"move {node} -> {new_frac} frac (T={temperature:.2f})",
+                candidate,
+                accept,
+            )
+            if accept:
+                current, current_energy = candidate, candidate_energy
+                if current.feasible and current.cost < best.cost:
+                    best = current
+            temperature = max(temperature * self.cooling, 1e-9)
+        return best, uniform_eval.cost, uniform_w
+
+
+#: Strategy registry, keyed by CLI-friendly names.
+OPTIMIZERS: Dict[str, type[WordLengthOptimizer]] = {
+    UniformSweepOptimizer.name: UniformSweepOptimizer,
+    GreedyBitStealingOptimizer.name: GreedyBitStealingOptimizer,
+    SimulatedAnnealingOptimizer.name: SimulatedAnnealingOptimizer,
+}
+
+
+def get_optimizer(name: str, **options: object) -> WordLengthOptimizer:
+    """Instantiate a strategy by registry name."""
+    try:
+        factory = OPTIMIZERS[str(name).lower()]
+    except KeyError as exc:
+        raise OptimizationError(
+            f"unknown optimization strategy {name!r}; available: {', '.join(OPTIMIZERS)}"
+        ) from exc
+    return factory(**options)  # type: ignore[arg-type]

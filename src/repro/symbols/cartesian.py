@@ -251,5 +251,6 @@ class SequentialPropagator:
             result,
             summarize(result),
             combinations=result.nbins,
-            granularity=granularity or max((pdf.nbins for pdf in env.values()), default=result.nbins),
+            granularity=granularity
+            or max((pdf.nbins for pdf in env.values()), default=result.nbins),
         )

@@ -81,7 +81,9 @@ class Expression:
 
     def __pow__(self, exponent: int) -> "Expression":
         if not isinstance(exponent, int) or exponent < 0:
-            raise ExpressionError(f"only non-negative integer powers are supported, got {exponent!r}")
+            raise ExpressionError(
+                f"only non-negative integer powers are supported, got {exponent!r}"
+            )
         return Pow(self, exponent)
 
     # -- analysis ------------------------------------------------------- #
@@ -293,7 +295,9 @@ class Pow(Expression):
 
     def __init__(self, operand: Expression, exponent: int) -> None:
         if not isinstance(exponent, int) or exponent < 0:
-            raise ExpressionError(f"only non-negative integer powers are supported, got {exponent!r}")
+            raise ExpressionError(
+                f"only non-negative integer powers are supported, got {exponent!r}"
+            )
         self.operand = operand
         self.exponent = exponent
 
@@ -451,7 +455,9 @@ class Polynomial:
 
     def __pow__(self, exponent: int) -> "Polynomial":
         if not isinstance(exponent, int) or exponent < 0:
-            raise ExpressionError(f"only non-negative integer powers are supported, got {exponent!r}")
+            raise ExpressionError(
+                f"only non-negative integer powers are supported, got {exponent!r}"
+            )
         result = Polynomial.constant(1.0)
         base = self
         power = exponent

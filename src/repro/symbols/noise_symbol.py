@@ -65,12 +65,16 @@ class NoiseSymbol:
         return NoiseSymbol(self.name, self.pdf.rebin(bins), self.source)
 
     @classmethod
-    def uniform(cls, name: str, lo: float = -1.0, hi: float = 1.0, bins: int = 16, source: str = "") -> "NoiseSymbol":
+    def uniform(
+        cls, name: str, lo: float = -1.0, hi: float = 1.0, bins: int = 16, source: str = ""
+    ) -> "NoiseSymbol":
         """A symbol uniformly distributed over ``[lo, hi]``."""
         return cls(name, HistogramPDF.uniform(lo, hi, bins=bins), source)
 
     @classmethod
-    def from_interval(cls, name: str, interval: Interval, bins: int = 16, source: str = "") -> "NoiseSymbol":
+    def from_interval(
+        cls, name: str, interval: Interval, bins: int = 16, source: str = ""
+    ) -> "NoiseSymbol":
         """A symbol uniformly distributed over an :class:`Interval`.
 
         This is the probabilistic reading of an interval operand that the
@@ -95,7 +99,9 @@ class SymbolTable:
         self._symbols[symbol.name] = symbol
         return symbol
 
-    def add_uniform(self, name: str, lo: float = -1.0, hi: float = 1.0, bins: int = 16, source: str = "") -> NoiseSymbol:
+    def add_uniform(
+        self, name: str, lo: float = -1.0, hi: float = 1.0, bins: int = 16, source: str = ""
+    ) -> NoiseSymbol:
         """Create and register a uniform symbol in one call."""
         return self.add(NoiseSymbol.uniform(name, lo, hi, bins=bins, source=source))
 

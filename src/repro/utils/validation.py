@@ -56,7 +56,9 @@ def check_in_range(value: float, lo: float, hi: float, name: str = "value") -> f
     return value
 
 
-def check_type(value: Any, types: type | tuple[type, ...] | Iterable[type], name: str = "value") -> Any:
+def check_type(
+    value: Any, types: type | tuple[type, ...] | Iterable[type], name: str = "value"
+) -> Any:
     """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
     if not isinstance(types, tuple):
         types = tuple(types) if isinstance(types, (list, set)) else (types,)

@@ -1,0 +1,148 @@
+"""Tests for repro.noisemodel.assignment: constructors, queries, coverage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg.builder import DFGBuilder
+from repro.dfg.range_analysis import infer_ranges
+from repro.errors import NoiseModelError
+from repro.fixedpoint.format import FixedPointFormat, QuantizationMode
+from repro.intervals.interval import Interval
+from repro.noisemodel.assignment import WordLengthAssignment, ensure_range_coverage
+
+
+def small_graph():
+    builder = DFGBuilder("small")
+    x = builder.input("x")
+    y = x * builder.const(0.5) + x
+    builder.output(y, name="y")
+    return builder.build()
+
+
+def full_ranges(graph):
+    return infer_ranges(graph, {"x": Interval(-1.0, 1.0)}).ranges
+
+
+class TestUniform:
+    def test_covers_every_non_output_node(self):
+        graph = small_graph()
+        assignment = WordLengthAssignment.uniform(graph, 10, full_ranges(graph))
+        expected = {n.name for n in graph if n.op.value != "output"}
+        assert set(assignment.formats) == expected
+        assert all(fmt.word_length == 10 for fmt in assignment.formats.values())
+
+    def test_integer_bits_follow_ranges(self):
+        graph = small_graph()
+        ranges = full_ranges(graph)
+        assignment = WordLengthAssignment.uniform(graph, 12, ranges)
+        for name, fmt in assignment.formats.items():
+            assert fmt.min_value <= ranges[name].lo
+            assert fmt.fractional_bits == 12 - fmt.integer_bits
+
+    def test_missing_ranges_raise_naming_the_nodes(self):
+        graph = small_graph()
+        ranges = full_ranges(graph)
+        victim = next(iter(ranges))
+        ranges = {k: v for k, v in ranges.items() if k != victim}
+        with pytest.raises(NoiseModelError, match=victim):
+            WordLengthAssignment.uniform(graph, 10, ranges)
+
+    def test_word_length_too_small_for_range(self):
+        graph = small_graph()
+        ranges = {name: Interval(-200.0, 200.0) for name in graph.names()}
+        with pytest.raises(NoiseModelError, match="integer bits"):
+            WordLengthAssignment.uniform(graph, 4, ranges)
+
+    def test_mode_coercion_from_strings(self):
+        graph = small_graph()
+        assignment = WordLengthAssignment.uniform(
+            graph, 8, full_ranges(graph), quantization="truncate", overflow="wrap"
+        )
+        assert assignment.quantization is QuantizationMode.TRUNCATE
+        assert assignment.overflow.value == "wrap"
+
+
+class TestFractionalBitConstructors:
+    def test_round_trip_through_from_fractional_bits(self):
+        graph = small_graph()
+        ranges = full_ranges(graph)
+        original = WordLengthAssignment.uniform(graph, 11, ranges)
+        rebuilt = WordLengthAssignment.from_fractional_bits(
+            graph, original.fractional_bits(), ranges
+        )
+        assert rebuilt.fractional_bits() == original.fractional_bits()
+        assert rebuilt.word_lengths() == original.word_lengths()
+
+    def test_from_fractional_bits_requires_ranges(self):
+        graph = small_graph()
+        with pytest.raises(NoiseModelError, match="no range"):
+            WordLengthAssignment.from_fractional_bits(graph, {"ghost": 4}, {})
+
+    def test_with_fractional_bits_replaces_one_node_only(self):
+        graph = small_graph()
+        ranges = full_ranges(graph)
+        original = WordLengthAssignment.uniform(graph, 10, ranges)
+        node = next(iter(original.formats))
+        updated = original.with_fractional_bits(node, 3)
+        assert updated.format_of(node).fractional_bits == 3
+        # every other node untouched, original untouched
+        for other in original.formats:
+            if other != node:
+                assert updated.format_of(other) == original.format_of(other)
+        original_fmt = original.format_of(node)
+        assert original_fmt.fractional_bits == 10 - original_fmt.integer_bits
+
+    def test_with_fractional_bits_rejects_negative(self):
+        graph = small_graph()
+        assignment = WordLengthAssignment.uniform(graph, 10, full_ranges(graph))
+        node = next(iter(assignment.formats))
+        with pytest.raises(NoiseModelError, match=">= 0"):
+            assignment.with_fractional_bits(node, -1)
+
+
+class TestQueries:
+    def test_total_and_max_bits(self):
+        graph = small_graph()
+        assignment = WordLengthAssignment.uniform(graph, 9, full_ranges(graph))
+        assert assignment.total_bits() == 9 * len(assignment)
+        assert assignment.max_word_length() == 9
+        assert WordLengthAssignment().total_bits() == 0
+        assert WordLengthAssignment().max_word_length() == 0
+
+    def test_format_of_unknown_node_raises(self):
+        assignment = WordLengthAssignment()
+        with pytest.raises(NoiseModelError, match="no fixed-point format"):
+            assignment.format_of("nope")
+
+    def test_copy_is_independent(self):
+        graph = small_graph()
+        assignment = WordLengthAssignment.uniform(graph, 8, full_ranges(graph))
+        clone = assignment.copy()
+        node = next(iter(clone.formats))
+        clone.formats[node] = clone.formats[node].with_fractional_bits(0)
+        assert assignment.format_of(node).fractional_bits != 0
+
+
+class TestEnsureRangeCoverage:
+    def test_noop_returns_same_object(self):
+        graph = small_graph()
+        ranges = full_ranges(graph)
+        assignment = WordLengthAssignment.uniform(graph, 10, ranges)
+        assert ensure_range_coverage(assignment, ranges) is assignment
+
+    def test_widens_format_that_clips_its_range(self):
+        # sQ1.3 tops out at 0.875, but the node's range reaches 1.0.
+        assignment = WordLengthAssignment(formats={"n": FixedPointFormat(1, 3)})
+        widened = ensure_range_coverage(assignment, {"n": Interval(0.0, 1.0)})
+        assert widened.format_of("n").integer_bits == 2
+        assert widened.format_of("n").fractional_bits == 3
+
+    def test_gives_up_after_max_extra_bits(self):
+        assignment = WordLengthAssignment(formats={"n": FixedPointFormat(1, 3)})
+        with pytest.raises(NoiseModelError, match="saturation-free"):
+            ensure_range_coverage(assignment, {"n": Interval(0.0, 1000.0)})
+
+    def test_ignores_nodes_without_ranges(self):
+        assignment = WordLengthAssignment(formats={"n": FixedPointFormat(1, 3)})
+        assert ensure_range_coverage(assignment, {}) is assignment

@@ -55,7 +55,10 @@ class TestPipelineOnEveryCircuit:
 class TestBenchDriver:
     def test_smoke_run_writes_json(self, tmp_path, capsys):
         out = tmp_path / "BENCH_analysis.json"
-        code = bench_main(["--smoke", "--samples", "400", "--out", str(out), "--circuit", "quadratic", "--circuit", "fir4"])
+        code = bench_main(
+            ["--smoke", "--samples", "400", "--out", str(out)]
+            + ["--circuit", "quadratic", "--circuit", "fir4"]
+        )
         assert code == 0
         document = json.loads(out.read_text())
         assert document["all_enclosed"] is True

@@ -1,0 +1,102 @@
+"""Tests for the benchmark-regression comparison tool."""
+
+from __future__ import annotations
+
+import json
+
+from repro.benchmarks.compare_bench import compare_documents, main, render_markdown
+
+
+def make_document(width=1.0, runtime=0.2, enclosed=True):
+    return {
+        "circuits": {
+            "quadratic": {
+                "total_runtime_s": runtime,
+                "results": {
+                    "ia": {"lower": -width / 2, "upper": width / 2, "runtime_s": runtime / 2},
+                    "montecarlo": {"lower": -0.1, "upper": 0.1, "runtime_s": runtime / 2},
+                },
+                "enclosure": {"ia": enclosed},
+            }
+        }
+    }
+
+
+class TestCompareDocuments:
+    def test_identical_documents_pass(self):
+        doc = make_document()
+        rows, failures = compare_documents(doc, doc)
+        assert failures == []
+        assert {row["method"] for row in rows} == {"ia", "montecarlo"}
+        assert all(row["width_ratio"] == 1.0 for row in rows)
+
+    def test_loosened_to_unsound_fails(self):
+        rows, failures = compare_documents(
+            make_document(enclosed=True), make_document(enclosed=False)
+        )
+        assert any("UNSOUND" in message for message in failures)
+        assert any(row["unsound"] for row in rows)
+
+    def test_sound_loosening_is_reported_not_gated(self):
+        rows, failures = compare_documents(make_document(width=1.0), make_document(width=3.0))
+        assert failures == []
+        ia = next(row for row in rows if row["method"] == "ia")
+        assert ia["width_ratio"] == 3.0
+
+    def test_runtime_regression_fails_above_floor(self):
+        _rows, failures = compare_documents(
+            make_document(runtime=0.2), make_document(runtime=0.9)
+        )
+        assert any("runtime regressed" in message for message in failures)
+
+    def test_runtime_noise_below_floor_is_ignored(self):
+        _rows, failures = compare_documents(
+            make_document(runtime=0.001), make_document(runtime=0.01)
+        )
+        assert failures == []
+
+    def test_small_absolute_growth_over_noisy_base_is_ignored(self):
+        # 3x ratio but only 40 ms of absolute growth: timer noise, not a
+        # regression, even though the head runtime exceeds the floor.
+        _rows, failures = compare_documents(
+            make_document(runtime=0.02), make_document(runtime=0.06)
+        )
+        assert failures == []
+
+    def test_missing_circuit_fails(self):
+        head = make_document()
+        head["circuits"] = {}
+        _rows, failures = compare_documents(make_document(), head)
+        assert any("missing at head" in message for message in failures)
+
+
+class TestRendering:
+    def test_markdown_contains_table_and_verdicts(self):
+        rows, failures = compare_documents(make_document(), make_document())
+        markdown = render_markdown(rows, failures)
+        assert "| circuit | method |" in markdown
+        assert "PASSED" in markdown
+        assert "| quadratic | ia |" in markdown
+
+    def test_markdown_lists_failures(self):
+        rows, failures = compare_documents(
+            make_document(enclosed=True), make_document(enclosed=False)
+        )
+        markdown = render_markdown(rows, failures)
+        assert "FAILED" in markdown
+        assert "UNSOUND" in markdown
+
+
+class TestMain:
+    def test_exit_codes_and_summary_file(self, tmp_path):
+        base = tmp_path / "base.json"
+        head = tmp_path / "head.json"
+        summary = tmp_path / "summary.md"
+        base.write_text(json.dumps(make_document()))
+        head.write_text(json.dumps(make_document()))
+        assert main([str(base), str(head), "--summary", str(summary)]) == 0
+        assert "PASSED" in summary.read_text()
+
+        head.write_text(json.dumps(make_document(enclosed=False)))
+        assert main([str(base), str(head), "--summary", str(summary)]) == 1
+        assert "UNSOUND" in summary.read_text()
