@@ -9,6 +9,7 @@ Monte-Carlo simulation on the same fixed-point design — the experiment
 at the heart of the paper, packaged as one call.
 """
 
+from repro.analysis.incremental import IncrementalAnalyzer, IncrementalStats
 from repro.analysis.montecarlo import MonteCarloResult, monte_carlo_error
 from repro.analysis.pipeline import ALL_METHODS, NoiseAnalysisPipeline
 from repro.analysis.report import AnalysisReport, MethodResult
@@ -20,4 +21,6 @@ __all__ = [
     "MethodResult",
     "MonteCarloResult",
     "monte_carlo_error",
+    "IncrementalAnalyzer",
+    "IncrementalStats",
 ]

@@ -64,7 +64,7 @@ def monte_carlo_error(
     steps: int = 1,
     input_pdfs: Mapping[str, HistogramPDF] | None = None,
     output: str | None = None,
-    rng: np.random.Generator | int | None = None,
+    rng: np.random.Generator | int | None = 0,
 ) -> MonteCarloResult:
     """Sample the true fixed-point error of one graph output.
 
@@ -73,6 +73,10 @@ def monte_carlo_error(
     given.  Sequential graphs are simulated for ``steps`` samples from
     zero state and the error is measured at the final step, matching the
     finite-horizon convention of the unrolled analytic methods.
+
+    ``rng`` defaults to the fixed seed 0 so every validator call — and
+    therefore every ``BENCH_*.json`` number derived from one — is
+    reproducible run-to-run; pass ``None`` explicitly for OS entropy.
     """
     if samples < 1:
         raise NoiseModelError(f"samples must be >= 1, got {samples}")

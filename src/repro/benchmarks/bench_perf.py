@@ -1,0 +1,386 @@
+"""Benchmark driver: incremental vs full analysis on the optimizer's hot path.
+
+Measures, per circuit x analysis method:
+
+* **equivalence** — randomized single- and multi-node word-length
+  perturbations analyzed both incrementally
+  (:class:`~repro.analysis.incremental.IncrementalAnalyzer`) and from
+  scratch (:class:`~repro.noisemodel.analyzer.DatapathNoiseAnalyzer`),
+  compared field by field.  IA / Taylor / SNA match bit for bit; AA
+  reductions may differ by float summation order, so the comparison
+  allows a relative tolerance of ``1e-9`` (a few ulps);
+* **greedy inner-loop speedup** — the greedy bit-stealing descent is run
+  on an incremental problem while logging every candidate it actually
+  analyzes; the logged candidates are then re-analyzed from scratch
+  (exactly what the evaluator did before this engine existed).  The
+  ratio of full-replay time to the engine's measured analysis time is
+  the speedup of the optimizer's inner loop;
+* **end-to-end optimizer wall time** — ``greedy.optimize()`` with the
+  incremental evaluator vs ``use_incremental=False``.
+
+The exit code is the CI gate.  It is non-zero unless:
+
+* every equivalence trial passes (gate (a)), and
+* on the gate circuits (``fft_butterfly`` and ``matmul2`` — widest
+  fan-in / multi-output designs of the library), the best per-method
+  greedy inner-loop speedup is at least ``--min-speedup`` (default 5x;
+  ``--smoke`` lowers it to 2x because CI-runner timer noise on
+  millisecond-scale loops would otherwise flake the build).  Shallow
+  10-node circuits bound the *worst* method near the cone/graph ratio,
+  so the gate tracks the best method per circuit; every per-method
+  number is reported in the JSON.
+
+The document keeps the ``circuits -> results/enclosure/total_runtime_s``
+shape of ``BENCH_analysis.json``, so ``compare_bench`` can diff a head
+run against a merge-base run and fail on runtime regressions or on an
+equivalence verdict that flips to False.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.benchmarks.bench_perf          # full run
+    PYTHONPATH=src python -m repro.benchmarks.bench_perf --smoke  # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.incremental import IncrementalAnalyzer
+from repro.benchmarks.circuits import CIRCUITS, get_circuit
+from repro.noisemodel.analyzer import ANALYSIS_METHODS, DatapathNoiseAnalyzer
+from repro.noisemodel.assignment import ensure_range_coverage
+from repro.optimize import OptimizationProblem
+from repro.optimize.strategies import GreedyBitStealingOptimizer, _sweep_uniform
+
+__all__ = ["run_perf_benchmarks", "main"]
+
+DEFAULT_OUTPUT = "BENCH_perf.json"
+
+#: Circuits whose inner-loop speedup is exit-gated.
+GATE_CIRCUITS = ("fft_butterfly", "matmul2")
+
+#: Relative tolerance of the equivalence gate (AA reductions may differ
+#: from a from-scratch run by float summation order; everything else is
+#: bit-identical).
+EQUIV_RTOL = 1e-9
+
+
+def _rel_err(got: float, want: float) -> float:
+    return abs(got - want) / max(1.0, abs(want))
+
+
+def _perturbations(problem: OptimizationProblem, trials: int, seed: int) -> list:
+    """Deterministic single- and multi-node word-length perturbations."""
+    rng = random.Random(seed)
+    base = problem.uniform(12)
+    nodes = sorted(base.formats)
+    candidates = []
+    for trial in range(trials):
+        assignment = base
+        count = 1 if trial % 2 == 0 else rng.choice((2, 3))
+        for node in rng.sample(nodes, min(count, len(nodes))):
+            frac = assignment.format_of(node).fractional_bits
+            assignment = assignment.with_fractional_bits(
+                node, max(0, frac + rng.choice((-3, -2, -1, 1)))
+            )
+        candidates.append(ensure_range_coverage(assignment, problem.ranges))
+    return candidates
+
+
+def _check_equivalence(
+    problem: OptimizationProblem, method: str, trials: int, seed: int
+) -> tuple[bool, float]:
+    """Incremental vs from-scratch reports on random perturbations."""
+    circuit_graph = problem.graph
+    baseline = problem.uniform(12)
+    engine = IncrementalAnalyzer(
+        circuit_graph,
+        baseline,
+        problem.input_ranges,
+        horizon=problem.horizon,
+        bins=problem.bins,
+    )
+    worst = 0.0
+    ok = True
+    for index, assignment in enumerate(_perturbations(problem, trials, seed)):
+        got = engine.analyze(
+            assignment, method, output=problem.output, commit=bool(index % 2)
+        )
+        want = DatapathNoiseAnalyzer(
+            circuit_graph,
+            assignment,
+            problem.input_ranges,
+            horizon=problem.horizon,
+            bins=problem.bins,
+        ).analyze(method, output=problem.output)
+        for got_value, want_value in (
+            (got.mean, want.mean),
+            (got.variance, want.variance),
+            (got.noise_power, want.noise_power),
+            (got.bounds.lo, want.bounds.lo),
+            (got.bounds.hi, want.bounds.hi),
+        ):
+            err = _rel_err(got_value, want_value)
+            worst = max(worst, err)
+            ok = ok and err <= EQUIV_RTOL
+        ok = ok and got.source_count == want.source_count
+    return ok, worst
+
+
+def _greedy_inner_loop(
+    circuit, method: str, snr_floor_db: float, horizon: int, bins: int, reps: int
+) -> dict:
+    """Greedy-descent analysis time: incremental engine vs full replay."""
+    inc_times: list[float] = []
+    full_times: list[float] = []
+    probes = 0
+    for _ in range(reps):
+        problem = OptimizationProblem.from_circuit(
+            circuit, snr_floor_db, method=method, horizon=horizon, bins=bins, margin_db=1.0
+        )
+        trace: list = []
+        feasible, word_length, _last = _sweep_uniform(problem, trace)
+        if feasible is None or word_length is None:
+            raise RuntimeError(f"{circuit.name}/{method}: no feasible uniform design")
+        start = problem.evaluate_uniform(min(word_length + 2, problem.max_word_length))
+        log: list = []
+        problem.analysis_log = log
+        before = problem.analysis_time_s
+        GreedyBitStealingOptimizer()._descend(problem, start, trace, "bench")
+        problem.analysis_log = None
+        inc_times.append(problem.analysis_time_s - before)
+        probes = len(log)
+        started = time.perf_counter()
+        for assignment in log:
+            DatapathNoiseAnalyzer(
+                problem.graph,
+                assignment,
+                problem.input_ranges,
+                horizon=problem.horizon,
+                bins=problem.bins,
+            ).analyze(method, output=problem.output)
+        full_times.append(time.perf_counter() - started)
+    inc = min(inc_times)
+    full = min(full_times)
+    return {
+        "probes": probes,
+        "incremental_s": inc,
+        "full_s": full,
+        "inner_loop_speedup": full / inc if inc > 0 else float("inf"),
+    }
+
+
+def _greedy_end_to_end(
+    circuit, method: str, snr_floor_db: float, horizon: int, bins: int
+) -> dict:
+    """Wall time of the whole greedy optimization, both evaluator paths."""
+    timings = {}
+    for label, use_incremental in (("incremental", True), ("full", False)):
+        problem = OptimizationProblem.from_circuit(
+            circuit,
+            snr_floor_db,
+            method=method,
+            horizon=horizon,
+            bins=bins,
+            margin_db=1.0,
+            use_incremental=use_incremental,
+        )
+        started = time.perf_counter()
+        result = GreedyBitStealingOptimizer().optimize(problem)
+        timings[label] = time.perf_counter() - started
+        timings[f"{label}_cost"] = result.cost
+    assert timings["incremental_cost"] == timings["full_cost"], (
+        f"{circuit.name}/{method}: evaluator paths disagree on the optimum"
+    )
+    return {
+        "incremental_s": timings["incremental"],
+        "full_s": timings["full"],
+        "speedup": timings["full"] / timings["incremental"],
+        "cost": timings["incremental_cost"],
+    }
+
+
+def run_perf_benchmarks(
+    circuits: Sequence[str] | None = None,
+    methods: Sequence[str] = ANALYSIS_METHODS,
+    snr_floor_db: float = 58.0,
+    horizon: int = 6,
+    bins: int = 16,
+    reps: int = 7,
+    equiv_trials: int = 12,
+    min_speedup: float = 5.0,
+    seed: int = 0,
+) -> dict:
+    """Run the performance benchmark matrix and return the report document."""
+    names = list(circuits) if circuits else list(CIRCUITS)
+    document: dict = {
+        "suite": "incremental-performance",
+        "config": {
+            "snr_floor_db": snr_floor_db,
+            "horizon": horizon,
+            "bins": bins,
+            "reps": reps,
+            "equiv_trials": equiv_trials,
+            "equiv_rtol": EQUIV_RTOL,
+            "min_speedup": min_speedup,
+            "seed": seed,
+            "methods": list(methods),
+            "gate_circuits": [name for name in GATE_CIRCUITS if name in names],
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "circuits": {},
+    }
+    equivalence_ok = True
+    speedup_ok = True
+    for name in names:
+        circuit = get_circuit(name)
+        circuit_started = time.perf_counter()
+        probe_problem = OptimizationProblem.from_circuit(
+            circuit, snr_floor_db, method="ia", horizon=horizon, bins=bins, margin_db=1.0
+        )
+        results: dict = {}
+        enclosure: dict = {}
+        greedy: dict = {}
+        best_speedup = 0.0
+        best_method = None
+        for method in methods:
+            equivalent, max_err = _check_equivalence(
+                probe_problem, method, trials=equiv_trials, seed=seed
+            )
+            equivalence_ok = equivalence_ok and equivalent
+            inner = _greedy_inner_loop(circuit, method, snr_floor_db, horizon, bins, reps)
+            e2e = _greedy_end_to_end(circuit, method, snr_floor_db, horizon, bins)
+            greedy[method] = e2e
+            # Bounds of the incremental analysis at the uniform baseline,
+            # so compare_bench can diff widths across revisions too.
+            report = DatapathNoiseAnalyzer(
+                probe_problem.graph,
+                probe_problem.uniform(12),
+                probe_problem.input_ranges,
+                horizon=horizon,
+                bins=bins,
+            ).analyze(method, output=probe_problem.output)
+            results[method] = {
+                "lower": report.bounds.lo,
+                "upper": report.bounds.hi,
+                "noise_power": report.noise_power,
+                "runtime_s": inner["incremental_s"],
+                "full_runtime_s": inner["full_s"],
+                "probes": inner["probes"],
+                "inner_loop_speedup": inner["inner_loop_speedup"],
+                "equivalent": equivalent,
+                "max_rel_err": max_err,
+            }
+            enclosure[method] = equivalent
+            if inner["inner_loop_speedup"] > best_speedup:
+                best_speedup = inner["inner_loop_speedup"]
+                best_method = method
+        gated = name in GATE_CIRCUITS
+        if gated:
+            speedup_ok = speedup_ok and best_speedup >= min_speedup
+        document["circuits"][name] = {
+            "description": circuit.description,
+            "tags": list(circuit.tags),
+            "results": results,
+            "enclosure": enclosure,
+            "greedy_end_to_end": greedy,
+            "inner_loop_speedup": best_speedup,
+            "inner_loop_method": best_method,
+            "gated": gated,
+            "total_runtime_s": time.perf_counter() - circuit_started,
+        }
+    document["equivalence_ok"] = equivalence_ok
+    document["speedup_ok"] = speedup_ok
+    document["passed"] = equivalence_ok and speedup_ok
+    return document
+
+
+def _print_document(document: dict) -> None:
+    for name, entry in document["circuits"].items():
+        print(f"\n== {name}: {entry['description']}")
+        for method, row in entry["results"].items():
+            verdict = "ok" if row["equivalent"] else "NOT EQUIVALENT"
+            print(
+                f"  {method:6s} inner-loop {row['full_runtime_s'] * 1e3:8.2f}ms -> "
+                f"{row['runtime_s'] * 1e3:7.2f}ms ({row['inner_loop_speedup']:6.2f}x, "
+                f"{row['probes']} probes)  e2e "
+                f"{entry['greedy_end_to_end'][method]['speedup']:5.2f}x  "
+                f"equiv {verdict} (max rel err {row['max_rel_err']:.1e})"
+            )
+        tag = " [GATED]" if entry["gated"] else ""
+        print(
+            f"  -> best inner-loop speedup {entry['inner_loop_speedup']:.2f}x "
+            f"({entry['inner_loop_method']}){tag}"
+        )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUTPUT, help="output JSON path")
+    parser.add_argument("--snr-floor", type=float, default=58.0, dest="snr_floor_db")
+    parser.add_argument("--horizon", type=int, default=6)
+    parser.add_argument("--bins", type=int, default=16)
+    parser.add_argument("--reps", type=int, default=7, help="timing repetitions (min taken)")
+    parser.add_argument("--equiv-trials", type=int, default=12)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--method",
+        action="append",
+        choices=list(ANALYSIS_METHODS),
+        help="restrict to specific analysis methods (repeatable)",
+    )
+    parser.add_argument(
+        "--circuit",
+        action="append",
+        choices=list(CIRCUITS),
+        help="restrict to specific circuits (repeatable)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, fast configuration for CI smoke runs; relaxes the "
+        "speedup floor to 2x (shared-runner timers are too noisy for the "
+        "full 5x gate on millisecond-scale loops) but keeps the "
+        "equivalence gate strict",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.reps = min(args.reps, 3)
+        args.equiv_trials = min(args.equiv_trials, 6)
+        args.min_speedup = min(args.min_speedup, 2.0)
+
+    document = run_perf_benchmarks(
+        circuits=args.circuit,
+        methods=args.method or ANALYSIS_METHODS,
+        snr_floor_db=args.snr_floor_db,
+        horizon=args.horizon,
+        bins=args.bins,
+        reps=args.reps,
+        equiv_trials=args.equiv_trials,
+        min_speedup=args.min_speedup,
+        seed=args.seed,
+    )
+
+    _print_document(document)
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(document, indent=2) + "\n")
+    print(
+        f"\nwrote {out_path} (equivalence_ok={document['equivalence_ok']}, "
+        f"speedup_ok={document['speedup_ok']})"
+    )
+    return 0 if document["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

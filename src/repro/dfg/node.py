@@ -52,7 +52,7 @@ ARITHMETIC_OPS = frozenset(
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Node:
     """A single operation (or input/constant/output port) in a DFG.
 

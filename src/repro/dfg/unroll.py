@@ -63,6 +63,11 @@ class UnrolledGraph:
         self.instances = instances
         self._delay_bases = delay_bases
 
+    @property
+    def delay_bases(self) -> frozenset[str]:
+        """Original delay-register names (their instances alias other nodes)."""
+        return self._delay_bases
+
     def instances_of(self, base: str) -> List[str]:
         """All per-step instance names of an original node."""
         try:

@@ -74,6 +74,24 @@ class HistogramPDF:
     # constructors
     # ------------------------------------------------------------------ #
     @classmethod
+    def _trusted(cls, edges: np.ndarray, probs: np.ndarray) -> "HistogramPDF":
+        """Validation-free constructor for kernel-produced histograms.
+
+        Only for float arrays that already satisfy every ``__init__``
+        invariant except normalization (strictly increasing edges,
+        non-negative probabilities with positive total): the binary
+        combine / rebin kernels construct exactly that, and their call
+        rate makes the re-validation measurable.  Normalizes in place.
+        """
+        pdf = object.__new__(cls)
+        total = probs.sum()
+        if not total > 0.0:
+            raise HistogramError("total probability mass must be positive")
+        pdf.edges = edges
+        pdf.probs = probs / total
+        return pdf
+
+    @classmethod
     def uniform(cls, lo: Number, hi: Number, bins: int = 16) -> "HistogramPDF":
         """A uniform density over ``[lo, hi]`` discretized into ``bins`` bins."""
         lo = float(lo)
@@ -246,8 +264,15 @@ class HistogramPDF:
         return float(np.sqrt(self.variance()))
 
     def mean_square(self) -> float:
-        """Second raw moment ``E[x^2]`` — the paper's "noise power"."""
-        return self.moment(2, central=False)
+        """Second raw moment ``E[x^2]`` — the paper's "noise power".
+
+        Uses the closed form ``E[x^2]`` over a uniform ``[a, b]`` segment,
+        ``(a^2 + ab + b^2) / 3``, which needs no width division and is
+        therefore robust for degenerate (point-mass) bins too.
+        """
+        a = self.edges[:-1]
+        b = self.edges[1:]
+        return float(np.sum(self.probs * (a * a + a * b + b * b)) / 3.0)
 
     def bounds(self, mass_tol: float = 0.0) -> Interval:
         """Smallest interval containing all bins with probability > ``mass_tol``."""
@@ -366,11 +391,18 @@ class HistogramPDF:
         if factor < 0:
             new_edges = new_edges[::-1]
             new_probs = new_probs[::-1]
-        return HistogramPDF(new_edges.copy(), new_probs.copy(), normalize=False)
+        # Monotone transform of already-valid bins: skip re-validation.
+        pdf = object.__new__(HistogramPDF)
+        pdf.edges = np.ascontiguousarray(new_edges)
+        pdf.probs = new_probs.copy()
+        return pdf
 
     def shift(self, offset: Number) -> "HistogramPDF":
         """Distribution of ``X + offset``."""
-        return HistogramPDF(self.edges + float(offset), self.probs.copy(), normalize=False)
+        pdf = object.__new__(HistogramPDF)
+        pdf.edges = self.edges + float(offset)
+        pdf.probs = self.probs.copy()
+        return pdf
 
     def __neg__(self) -> "HistogramPDF":
         return self.scale(-1.0)
@@ -417,24 +449,59 @@ class HistogramPDF:
         edges, probs = combine_histograms(
             self.edges, self.probs, other_pdf.edges, other_pdf.probs, op, out_bins
         )
-        return HistogramPDF(edges, probs)
+        return HistogramPDF._trusted(edges, probs)
+
+    def _as_point(self) -> float | None:
+        """The midpoint when this histogram is a numerical point mass.
+
+        A point-mass operand turns a full pairwise combine into an exact
+        shift/scale; the :meth:`point` constructor (and every scale of
+        it) satisfies this, which covers constants and deterministic
+        constant-quantization errors on the SNA hot path.
+        """
+        if self.probs.size != 1:
+            return None
+        lo = float(self.edges[0])
+        hi = float(self.edges[1])
+        mid = 0.5 * (lo + hi)
+        if hi - lo <= 1e-9 * max(1.0, abs(mid)):
+            return mid
+        return None
 
     def add(self, other: "HistogramPDF | Number", bins: int | None = None) -> "HistogramPDF":
         """Distribution of ``X + Y`` for independent operands."""
         if isinstance(other, (int, float)):
             return self.shift(other)
+        point = other._as_point()
+        if point is not None:
+            return self.shift(point)
+        point = self._as_point()
+        if point is not None:
+            return other.shift(point)
         return self._combine(other, "add", bins)
 
     def sub(self, other: "HistogramPDF | Number", bins: int | None = None) -> "HistogramPDF":
         """Distribution of ``X - Y`` for independent operands."""
         if isinstance(other, (int, float)):
             return self.shift(-float(other))
+        point = other._as_point()
+        if point is not None:
+            return self.shift(-point)
+        point = self._as_point()
+        if point is not None:
+            return (-other).shift(point)
         return self._combine(other, "sub", bins)
 
     def mul(self, other: "HistogramPDF | Number", bins: int | None = None) -> "HistogramPDF":
         """Distribution of ``X * Y`` for independent operands."""
         if isinstance(other, (int, float)):
             return self.scale(other)
+        point = other._as_point()
+        if point is not None:
+            return self.scale(point)
+        point = self._as_point()
+        if point is not None:
+            return other.scale(point)
         return self._combine(other, "mul", bins)
 
     def div(self, other: "HistogramPDF | Number", bins: int | None = None) -> "HistogramPDF":
@@ -443,6 +510,12 @@ class HistogramPDF:
             if other == 0:
                 raise HistogramError("division by zero scalar")
             return self.scale(1.0 / float(other))
+        point = other._as_point()
+        # The shortcut must not bypass the divisor-contains-zero check: a
+        # near-point divisor whose (tiny) support still straddles zero
+        # falls through to the combine kernel, which raises.
+        if point is not None and (other.edges[0] > 0.0 or other.edges[-1] < 0.0):
+            return self.scale(1.0 / point)
         return self._combine(other, "div", bins)
 
     def __add__(self, other: "HistogramPDF | Number") -> "HistogramPDF":

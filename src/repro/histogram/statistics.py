@@ -8,6 +8,7 @@ benchmarks can pass a single value around.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from repro.histogram.pdf import HistogramPDF
@@ -16,7 +17,7 @@ from repro.intervals.interval import Interval
 __all__ = ["HistogramStats", "summarize"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HistogramStats:
     """Mean / variance / bounds / noise-power summary of a distribution."""
 
@@ -64,11 +65,17 @@ def summarize(pdf: HistogramPDF, mass_tol: float = 0.0) -> HistogramStats:
     extreme bins).
     """
     bounds = pdf.bounds(mass_tol=mass_tol)
+    mean = pdf.mean()
+    noise_power = pdf.mean_square()
+    # E[(x-m)^2] == E[x^2] - m^2 holds exactly for the piecewise-uniform
+    # density (the within-bin width^2/12 term lives in E[x^2]), so the
+    # central-moment pass is redundant; clamp the float cancellation dust.
+    variance = max(0.0, noise_power - mean * mean)
     return HistogramStats(
-        mean=pdf.mean(),
-        variance=pdf.variance(),
-        std=pdf.std(),
+        mean=mean,
+        variance=variance,
+        std=math.sqrt(variance),
         lower=bounds.lo,
         upper=bounds.hi,
-        noise_power=pdf.mean_square(),
+        noise_power=noise_power,
     )

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, Iterable, Mapping, Union
+from typing import Dict, Iterable, Mapping, Sequence, Union
+
+import numpy as np
 
 from repro.errors import DivisionByZeroIntervalError, IntervalError
 from repro.intervals.interval import Interval
@@ -198,6 +200,54 @@ class AffineForm:
     def __rsub__(self, other: "AffineForm | Number") -> "AffineForm":
         return self._coerce(other) - self
 
+    @classmethod
+    def sum_of(
+        cls,
+        items: Sequence["AffineForm | Number"],
+        context: AffineContext | None = None,
+    ) -> "AffineForm":
+        """N-ary sum over aligned coefficient arrays.
+
+        Chained binary ``+`` rebuilds the merged term dict once per
+        operand — O(n * union) dict churn on the analyzer's hot path.
+        Here every symbol is assigned one slot in a shared coefficient
+        array and each operand scatters its coefficients into it, so the
+        whole sum is one O(total terms) pass.  Addition order per symbol
+        matches the left-fold chain, so results are bit-identical to
+        ``a + b + c + ...``.
+        """
+        forms = [item for item in items if isinstance(item, AffineForm)]
+        center = 0.0
+        for item in items:
+            center += item.center if isinstance(item, AffineForm) else float(item)
+        if context is None:
+            context = forms[0].context if forms else _DEFAULT_CONTEXT
+        if not forms:
+            return cls(center, {}, context)
+        if sum(len(form.terms) for form in forms) <= 24:
+            # Below the numpy break-even point a plain single-pass dict
+            # accumulation wins; per-symbol addition order is unchanged.
+            small: Dict[str, float] = {}
+            for form in forms:
+                for name, coeff in form.terms.items():
+                    small[name] = small.get(name, 0.0) + coeff
+            return cls(center, small, context)
+        slot: Dict[str, int] = {}
+        for form in forms:
+            for name in form.terms:
+                if name not in slot:
+                    slot[name] = len(slot)
+        coeffs = np.zeros(len(slot), dtype=float)
+        for form in forms:
+            if not form.terms:
+                continue
+            idx = np.fromiter(
+                (slot[name] for name in form.terms), dtype=np.intp, count=len(form.terms)
+            )
+            coeffs[idx] += np.fromiter(form.terms.values(), dtype=float, count=len(form.terms))
+        terms = {name: coeffs[i] for name, i in slot.items() if coeffs[i] != 0.0}
+        return cls(center, terms, context)
+
     def scale(self, factor: Number) -> "AffineForm":
         """Multiply by an exact scalar (no new noise symbol)."""
         factor = float(factor)
@@ -218,6 +268,13 @@ class AffineForm:
         if isinstance(other, (int, float)):
             return self.scale(other)
         other = self._coerce(other)
+        # A term-free operand is an exact scalar: multiply coefficients
+        # directly (no linearization symbol; same floats as the general
+        # path, which would compute center * coeff per symbol anyway).
+        if not other.terms:
+            return self.scale(other.center)
+        if not self.terms:
+            return other.scale(self.center)
         # Standard AA multiplication:
         #   z0 = x0*y0
         #   zi = x0*yi + y0*xi       (first-order terms)

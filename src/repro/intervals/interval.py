@@ -57,7 +57,7 @@ def uniform_power(interval: "Interval") -> float:
     return (lo * lo + lo * hi + hi * hi) / 3.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Interval:
     """A closed real interval ``[lo, hi]`` with ``lo <= hi``.
 
@@ -80,6 +80,20 @@ class Interval:
             raise IntervalError(f"invalid interval: lo={lo} > hi={hi}")
         object.__setattr__(self, "lo", lo)
         object.__setattr__(self, "hi", hi)
+
+    @classmethod
+    def _fast(cls, lo: float, hi: float) -> "Interval":
+        """Unvalidated constructor for hot arithmetic paths.
+
+        Only for call sites that guarantee ``lo <= hi`` with float (not
+        NaN) operands by construction — the dataclass ``__init__`` plus
+        ``__post_init__`` validation costs more than the interval
+        arithmetic itself on the analyzer's propagation loop.
+        """
+        interval = object.__new__(cls)
+        object.__setattr__(interval, "lo", lo)
+        object.__setattr__(interval, "hi", hi)
+        return interval
 
     @classmethod
     def point(cls, value: Number) -> "Interval":
@@ -197,17 +211,17 @@ class Interval:
     # arithmetic
     # ------------------------------------------------------------------ #
     def __neg__(self) -> "Interval":
-        return Interval(-self.hi, -self.lo)
+        return Interval._fast(-self.hi, -self.lo)
 
     def __add__(self, other: "Interval | Number") -> "Interval":
         other = _as_interval(other)
-        return Interval(self.lo + other.lo, self.hi + other.hi)
+        return Interval._fast(self.lo + other.lo, self.hi + other.hi)
 
     __radd__ = __add__
 
     def __sub__(self, other: "Interval | Number") -> "Interval":
         other = _as_interval(other)
-        return Interval(self.lo - other.hi, self.hi - other.lo)
+        return Interval._fast(self.lo - other.hi, self.hi - other.lo)
 
     def __rsub__(self, other: "Interval | Number") -> "Interval":
         return _as_interval(other) - self
@@ -220,7 +234,7 @@ class Interval:
             self.hi * other.lo,
             self.hi * other.hi,
         )
-        return Interval(min(products), max(products))
+        return Interval._fast(min(products), max(products))
 
     __rmul__ = __mul__
 
@@ -293,13 +307,13 @@ class Interval:
         """Multiply by a scalar (slightly cheaper than building an interval)."""
         factor = float(factor)
         if factor >= 0:
-            return Interval(self.lo * factor, self.hi * factor)
-        return Interval(self.hi * factor, self.lo * factor)
+            return Interval._fast(self.lo * factor, self.hi * factor)
+        return Interval._fast(self.hi * factor, self.lo * factor)
 
     def shift(self, offset: Number) -> "Interval":
         """Add a scalar offset."""
         offset = float(offset)
-        return Interval(self.lo + offset, self.hi + offset)
+        return Interval._fast(self.lo + offset, self.hi + offset)
 
     # ------------------------------------------------------------------ #
     # comparisons and sampling

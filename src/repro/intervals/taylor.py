@@ -174,10 +174,26 @@ class TaylorModel:
             self.remainder.scale(factor),
         )
 
+    def is_exact_constant(self) -> bool:
+        """True when the model is a bare constant (no symbols, no remainder)."""
+        return (
+            not self.linear
+            and not self.quadratic
+            and self.remainder.lo == 0.0
+            and self.remainder.hi == 0.0
+        )
+
     def __mul__(self, other: "TaylorModel | Number") -> "TaylorModel":
         if isinstance(other, (int, float)):
             return self.scale(other)
         other = self._coerce(other)
+        # An exact-constant operand multiplies through term by term — the
+        # same floats the general path produces, without the cross-term
+        # and remainder bookkeeping.
+        if other.is_exact_constant():
+            return self.scale(other.constant)
+        if self.is_exact_constant():
+            return other.scale(self.constant)
 
         constant = self.constant * other.constant
         linear: Dict[str, float] = {}

@@ -46,8 +46,8 @@ from typing import Any, Dict, List, Mapping, Tuple
 
 from repro.dfg.graph import DFG
 from repro.dfg.node import OpType
+from repro.dfg.unroll import UnrolledGraph, unroll_sequential
 from repro.dfg.unroll import base_name as _base_name
-from repro.dfg.unroll import unroll_sequential
 from repro.errors import NoiseModelError
 from repro.histogram.pdf import HistogramPDF
 from repro.histogram.statistics import summarize
@@ -158,6 +158,7 @@ class DatapathNoiseAnalyzer:
 
         if graph.is_sequential:
             unrolled = unroll_sequential(graph, self.horizon)
+            self.unrolled: UnrolledGraph | None = unrolled
             self.graph = unrolled.graph
             self.working_assignment = WordLengthAssignment(
                 formats=unrolled.map_formats(assignment.formats),  # type: ignore[arg-type]
@@ -165,13 +166,47 @@ class DatapathNoiseAnalyzer:
                 overflow=assignment.overflow,
             )
         else:
+            self.unrolled = None
             self.graph = graph
             self.working_assignment = assignment
         self.sources = build_sources(self.graph, self.working_assignment)
         self._sources_by_node = sources_by_node(self.sources)
+        #: Topological order of the working (unrolled) graph, computed once.
+        self.topo_order: Tuple[str, ...] = tuple(self.graph.topological_order())
+        # transfer_gains over the IA value enclosures depends only on the
+        # graph and input ranges, never on the word-length assignment, so
+        # one profile per output serves every (re-)analysis.
+        self._gain_cache: Dict[str, Any] = {}
+        self._output_cache: Dict[str | None, str] = {}
+        # Error terms for IA / Taylor / SNA depend only on (node, format):
+        # re-analyses that revisit a format (bit-stealing probes toggle
+        # between adjacent precisions constantly) reuse the built term
+        # instead of re-deriving bounds/PDFs.  AA terms are excluded —
+        # they are bound to a propagation's AffineContext and are cheap
+        # to build anyway.
+        self._error_term_cache: Dict[Tuple[str, str, Any], Any] = {}
+
+    def working_formats(self, assignment: WordLengthAssignment) -> Dict[str, Any]:
+        """Per-instance formats of ``assignment`` on the working graph.
+
+        Maps a caller-facing assignment (keyed by original node names)
+        onto the unrolled instances exactly the way the constructor did
+        for the baseline assignment; combinational graphs pass through.
+        """
+        if self.unrolled is None:
+            return dict(assignment.formats)
+        return self.unrolled.map_formats(assignment.formats)  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
     def _resolve_output(self, output: str | None) -> str:
+        cached = self._output_cache.get(output)
+        if cached is not None:
+            return cached
+        resolved = self._resolve_output_uncached(output)
+        self._output_cache[output] = resolved
+        return resolved
+
+    def _resolve_output_uncached(self, output: str | None) -> str:
         outputs = self.graph.outputs()
         if output is None:
             if not outputs:
@@ -228,11 +263,21 @@ class DatapathNoiseAnalyzer:
             if interval.radius == 0.0:
                 return AffineForm(interval.midpoint, {}, context)
             return AffineForm(interval.midpoint, {source.symbol: interval.radius}, context)
+        key = (method, source.node, source.fmt)
+        cached = self._error_term_cache.get(key)
+        if cached is not None:
+            return cached
         if method == "taylor":
             if interval.radius == 0.0:
-                return TaylorModel.constant_model(interval.midpoint)
-            return TaylorModel(constant=interval.midpoint, linear={source.symbol: interval.radius})
-        return source.error_pdf(bins=self.bins)
+                term: Any = TaylorModel.constant_model(interval.midpoint)
+            else:
+                term = TaylorModel(
+                    constant=interval.midpoint, linear={source.symbol: interval.radius}
+                )
+        else:
+            term = source.error_pdf(bins=self.bins)
+        self._error_term_cache[key] = term
+        return term
 
     # ------------------------------------------------------------------ #
     # the propagation sweep
@@ -243,87 +288,150 @@ class DatapathNoiseAnalyzer:
         context = AffineContext() if method == "aa" else None
         values: Dict[str, Any] = {}
         errors: Dict[str, Any] = {}
-        for name in self.graph.topological_order():
+        for name in self.topo_order:
             node = self.graph.node(name)
-            source = self._sources_by_node.get(name)
-            own = self._make_error_term(method, source, context) if source else None
-            if node.op is OpType.INPUT:
-                values[name] = self._make_value(method, name, context)
-                errors[name] = own if own is not None else 0.0
-            elif node.op is OpType.CONST:
-                values[name] = self._make_const(method, float(node.value), context)
-                errors[name] = own if own is not None else 0.0
-            elif node.op is OpType.OUTPUT:
-                values[name] = values[node.inputs[0]]
-                errors[name] = errors[node.inputs[0]]
-            elif node.op is OpType.NEG:
-                values[name] = -values[node.inputs[0]]
-                err = -errors[node.inputs[0]] if not _is_zero(errors[node.inputs[0]]) else 0.0
-                errors[name] = _add_error(err, own)
-            elif node.op is OpType.SQUARE:
-                a = node.inputs[0]
-                va, ea = values[a], errors[a]
-                values[name] = _square(va)
-                if _is_zero(ea):
-                    err: Any = 0.0
-                else:
-                    err = 2.0 * (va * ea) + _square(ea)
-                errors[name] = _add_error(err, own)
-            elif node.op in (OpType.ADD, OpType.SUB):
-                a, b = node.inputs
-                va, vb = values[a], values[b]
-                ea, eb = errors[a], errors[b]
-                if node.op is OpType.ADD:
-                    values[name] = va + vb
-                    err = ea + eb
-                else:
-                    values[name] = va - vb
-                    err = ea - eb
-                errors[name] = _add_error(err, own)
-            elif node.op is OpType.MUL:
-                a, b = node.inputs
-                va, vb = values[a], values[b]
-                ea, eb = errors[a], errors[b]
-                values[name] = va * vb
-                err = 0.0
-                if not _is_zero(eb):
-                    err = _add_error(err, va * eb)
-                if not _is_zero(ea):
-                    err = _add_error(err, vb * ea)
-                if not (_is_zero(ea) or _is_zero(eb)):
-                    err = _add_error(err, ea * eb)
-                errors[name] = _add_error(err, own)
-            elif node.op is OpType.DIV:
-                a, b = node.inputs
-                va, vb = values[a], values[b]
-                ea, eb = errors[a], errors[b]
-                exact = va / vb
-                values[name] = exact
-                # (a+ea)/(b+eb) - a/b == (ea - (a/b)*eb) / (b+eb), which is
-                # linear in the errors; evaluating the difference of the two
-                # divisions directly would leave an O(1) linearization
-                # residual in AA/Taylor because their approximation symbols
-                # are independent and cannot cancel.
-                if _is_zero(ea) and _is_zero(eb):
-                    err = 0.0
-                else:
-                    numerator: Any = 0.0
-                    if not _is_zero(ea):
-                        numerator = ea
-                    if not _is_zero(eb):
-                        numerator = _add_error(numerator, -(exact * eb))
-                    denominator = vb if _is_zero(eb) else vb + eb
-                    err = numerator / denominator
-                errors[name] = _add_error(err, own)
-            else:  # pragma: no cover - DELAY cannot appear after unrolling
-                raise NoiseModelError(f"unexpected operation {node.op!r} in noise propagation")
+            values[name] = self._value_of(method, name, node, values, context)
+            errors[name] = self._error_of(method, name, node, values, errors, context)
         return values, errors, context
+
+    def _value_of(
+        self,
+        method: str,
+        name: str,
+        node: Any,
+        values: Mapping[str, Any],
+        context: AffineContext | None,
+    ) -> Any:
+        """Infinite-precision enclosure of one node (assignment-independent)."""
+        if node.op is OpType.INPUT:
+            return self._make_value(method, name, context)
+        if node.op is OpType.CONST:
+            return self._make_const(method, float(node.value), context)
+        if node.op is OpType.OUTPUT:
+            return values[node.inputs[0]]
+        if node.op is OpType.NEG:
+            return -values[node.inputs[0]]
+        if node.op is OpType.SQUARE:
+            return _square(values[node.inputs[0]])
+        if node.op is OpType.ADD:
+            return values[node.inputs[0]] + values[node.inputs[1]]
+        if node.op is OpType.SUB:
+            return values[node.inputs[0]] - values[node.inputs[1]]
+        if node.op is OpType.MUL:
+            return values[node.inputs[0]] * values[node.inputs[1]]
+        if node.op is OpType.DIV:
+            return values[node.inputs[0]] / values[node.inputs[1]]
+        # pragma: no cover - DELAY cannot appear after unrolling
+        raise NoiseModelError(f"unexpected operation {node.op!r} in noise propagation")
+
+    def _error_of(
+        self,
+        method: str,
+        name: str,
+        node: Any,
+        values: Mapping[str, Any],
+        errors: Mapping[str, Any],
+        context: AffineContext | None,
+    ) -> Any:
+        """Error enclosure of one node from its operands' values and errors.
+
+        Shared by the full sweep above and by the incremental engine
+        (:class:`repro.analysis.incremental.IncrementalAnalyzer`), which
+        re-invokes it only for nodes inside the cone of influence of a
+        word-length change; both paths therefore produce the same floats.
+        """
+        source = self._sources_by_node.get(name)
+        own = self._make_error_term(method, source, context) if source else None
+        if node.op in (OpType.INPUT, OpType.CONST):
+            return own if own is not None else 0.0
+        if node.op is OpType.OUTPUT:
+            return errors[node.inputs[0]]
+        if node.op is OpType.NEG:
+            ea = errors[node.inputs[0]]
+            err = -ea if not _is_zero(ea) else 0.0
+            return _add_error(err, own)
+        if node.op is OpType.SQUARE:
+            a = node.inputs[0]
+            va, ea = values[a], errors[a]
+            if _is_zero(ea):
+                return _add_error(0.0, own)
+            return self._sum_errors(method, [2.0 * (va * ea), _square(ea), own], context)
+        if node.op in (OpType.ADD, OpType.SUB):
+            a, b = node.inputs
+            ea, eb = errors[a], errors[b]
+            if node.op is OpType.SUB and not _is_zero(eb):
+                eb = -eb
+            return self._sum_errors(method, [ea, eb, own], context)
+        if node.op is OpType.MUL:
+            a, b = node.inputs
+            va, vb = values[a], values[b]
+            ea, eb = errors[a], errors[b]
+            terms: List[Any] = []
+            if not _is_zero(eb):
+                terms.append(va * eb)
+            if not _is_zero(ea):
+                terms.append(vb * ea)
+            if not (_is_zero(ea) or _is_zero(eb)):
+                terms.append(ea * eb)
+            terms.append(own)
+            return self._sum_errors(method, terms, context)
+        if node.op is OpType.DIV:
+            a, b = node.inputs
+            vb = values[b]
+            ea, eb = errors[a], errors[b]
+            exact = values[name]
+            # (a+ea)/(b+eb) - a/b == (ea - (a/b)*eb) / (b+eb), which is
+            # linear in the errors; evaluating the difference of the two
+            # divisions directly would leave an O(1) linearization
+            # residual in AA/Taylor because their approximation symbols
+            # are independent and cannot cancel.
+            if _is_zero(ea) and _is_zero(eb):
+                return _add_error(0.0, own)
+            numerator: Any = 0.0
+            if not _is_zero(ea):
+                numerator = ea
+            if not _is_zero(eb):
+                numerator = _add_error(numerator, -(exact * eb))
+            denominator = vb if _is_zero(eb) else vb + eb
+            return _add_error(numerator / denominator, own)
+        # pragma: no cover - DELAY cannot appear after unrolling
+        raise NoiseModelError(f"unexpected operation {node.op!r} in noise propagation")
+
+    def _sum_errors(self, method: str, terms: List[Any], context: AffineContext | None) -> Any:
+        """Left-fold sum of error terms, skipping exact zeros and ``None``.
+
+        The AA path merges all term dicts in one aligned-array pass
+        (:meth:`AffineForm.sum_of`) instead of chaining binary adds; the
+        result is bit-identical to the chain, just cheaper.
+        """
+        live = [t for t in terms if t is not None and not _is_zero(t)]
+        if not live:
+            return 0.0
+        if len(live) == 1:
+            return live[0]
+        if method == "aa" and any(isinstance(t, AffineForm) for t in live):
+            return AffineForm.sum_of(live, context=context)
+        acc = live[0]
+        for term in live[1:]:
+            acc = acc + term
+        return acc
 
     # ------------------------------------------------------------------ #
     # report construction
     # ------------------------------------------------------------------ #
-    def analyze(self, method: str = "sna", output: str | None = None) -> NoiseReport:
-        """Run one analysis method and summarize the output error."""
+    def analyze(
+        self,
+        method: str = "sna",
+        output: str | None = None,
+        contributions: bool = True,
+    ) -> NoiseReport:
+        """Run one analysis method and summarize the output error.
+
+        ``contributions=False`` skips the per-source breakdown (and, for
+        IA, the adjoint gain sweep that feeds it) — callers that only
+        need bounds/moments, like the word-length optimizer's inner
+        loop, save a full O(graph) pass per analysis.
+        """
         method = str(method).lower()
         if method not in ANALYSIS_METHODS:
             raise NoiseModelError(
@@ -333,7 +441,7 @@ class DatapathNoiseAnalyzer:
         values, errors, _context = self._propagate(method)
         error = errors[target]
         builder = getattr(self, f"_report_{method}")
-        return builder(target, error, values)
+        return builder(target, error, values, contributions)
 
     def analyze_all(self, output: str | None = None) -> Dict[str, NoiseReport]:
         """Run every analysis method on the same output."""
@@ -346,19 +454,28 @@ class DatapathNoiseAnalyzer:
             merged[_base_name(node)] = merged.get(_base_name(node), 0.0) + abs(magnitude)
         return merged
 
-    def _report_ia(self, target: str, error: Any, values: Dict[str, Any]) -> NoiseReport:
+    def _report_ia(
+        self, target: str, error: Any, values: Dict[str, Any], with_contributions: bool = True
+    ) -> NoiseReport:
         bounds = error if isinstance(error, Interval) else Interval.point(float(error))
-        mean = bounds.midpoint
-        variance = bounds.width * bounds.width / 12.0
-        # The propagated values ARE the per-node IA enclosures; reuse them
-        # as the ranges the adjoint gain sweep linearizes around.
-        profile = transfer_gains(self.graph, values, output=target)
-        contributions = self._aggregate_contributions(
-            {
-                source.node: profile.magnitude_of(source.node) * source.error_interval.magnitude
-                for source in self.sources
-            }
-        )
+        mean, variance = self._moments_ia(bounds)
+        contributions: Dict[str, float] = {}
+        if with_contributions:
+            # The propagated values ARE the per-node IA enclosures; reuse
+            # them as the ranges the adjoint gain sweep linearizes around.
+            # Values never depend on the word-length assignment, so the
+            # profile is cached per target across incremental re-analyses.
+            profile = self._gain_cache.get(target)
+            if profile is None:
+                profile = transfer_gains(self.graph, values, output=target)
+                self._gain_cache[target] = profile
+            contributions = self._aggregate_contributions(
+                {
+                    source.node: profile.magnitude_of(source.node)
+                    * source.error_interval.magnitude
+                    for source in self._sources_by_node.values()
+                }
+            )
         return NoiseReport(
             method="ia",
             output=target,
@@ -366,19 +483,22 @@ class DatapathNoiseAnalyzer:
             mean=mean,
             variance=variance,
             noise_power=mean * mean + variance,
-            source_count=len(self.sources),
+            source_count=len(self._sources_by_node),
             contributions=contributions,
         )
 
-    def _report_aa(self, target: str, error: Any, values: Dict[str, Any]) -> NoiseReport:
+    def _report_aa(
+        self, target: str, error: Any, values: Dict[str, Any], with_contributions: bool = True
+    ) -> NoiseReport:
         if not isinstance(error, AffineForm):
             error = AffineForm(float(error), {})
         bounds = error.to_interval()
-        mean = error.center
-        variance = sum(coeff * coeff for coeff in error.terms.values()) / 3.0
-        contributions = self._aggregate_contributions(
-            {name: coeff for name, coeff in error.terms.items() if name.startswith("e_")}
-        )
+        mean, variance = self._moments_aa(error)
+        contributions: Dict[str, float] = {}
+        if with_contributions:
+            contributions = self._aggregate_contributions(
+                {name: coeff for name, coeff in error.terms.items() if name.startswith("e_")}
+            )
         return NoiseReport(
             method="aa",
             output=target,
@@ -386,14 +506,50 @@ class DatapathNoiseAnalyzer:
             mean=mean,
             variance=variance,
             noise_power=mean * mean + variance,
-            source_count=len(self.sources),
+            source_count=len(self._sources_by_node),
             contributions=contributions,
         )
 
-    def _report_taylor(self, target: str, error: Any, values: Dict[str, Any]) -> NoiseReport:
+    def _report_taylor(
+        self, target: str, error: Any, values: Dict[str, Any], with_contributions: bool = True
+    ) -> NoiseReport:
         if not isinstance(error, TaylorModel):
             error = TaylorModel.constant_model(float(error))
         bounds = error.bound()
+        mean, variance = self._moments_taylor(error)
+        contributions: Dict[str, float] = {}
+        if with_contributions:
+            contributions = self._aggregate_contributions(
+                {name: coeff for name, coeff in error.linear.items() if name.startswith("e_")}
+            )
+        return NoiseReport(
+            method="taylor",
+            output=target,
+            bounds=bounds,
+            mean=mean,
+            variance=variance,
+            noise_power=mean * mean + variance,
+            source_count=len(self._sources_by_node),
+            contributions=contributions,
+        )
+
+    # ------------------------------------------------------------------ #
+    # per-method error moments — single source of truth shared by the
+    # report builders and the optimizer's noise-power fast path
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _moments_ia(error: Interval) -> tuple[float, float]:
+        mean = error.midpoint
+        width = error.width
+        return mean, width * width / 12.0
+
+    @staticmethod
+    def _moments_aa(error: AffineForm) -> tuple[float, float]:
+        variance = sum(coeff * coeff for coeff in error.terms.values()) / 3.0
+        return error.center, variance
+
+    @staticmethod
+    def _moments_taylor(error: TaylorModel) -> tuple[float, float]:
         mean = error.constant + error.remainder.midpoint
         variance = sum(c * c for c in error.linear.values()) / 3.0
         for (a, b), coeff in error.quadratic.items():
@@ -403,21 +559,44 @@ class DatapathNoiseAnalyzer:
             else:
                 variance += coeff * coeff / 9.0
         variance += error.remainder.radius * error.remainder.radius / 3.0
-        contributions = self._aggregate_contributions(
-            {name: coeff for name, coeff in error.linear.items() if name.startswith("e_")}
-        )
-        return NoiseReport(
-            method="taylor",
-            output=target,
-            bounds=bounds,
-            mean=mean,
-            variance=variance,
-            noise_power=mean * mean + variance,
-            source_count=len(self.sources),
-            contributions=contributions,
-        )
+        return mean, variance
 
-    def _report_sna(self, target: str, error: Any, values: Dict[str, Any]) -> NoiseReport:
+    def _noise_power_ia(self, error: Any) -> float:
+        if not isinstance(error, Interval):
+            value = float(error)
+            return value * value
+        mean, variance = self._moments_ia(error)
+        return mean * mean + variance
+
+    def _noise_power_aa(self, error: Any) -> float:
+        if not isinstance(error, AffineForm):
+            value = float(error)
+            return value * value
+        mean, variance = self._moments_aa(error)
+        return mean * mean + variance
+
+    def _noise_power_taylor(self, error: Any) -> float:
+        if not isinstance(error, TaylorModel):
+            value = float(error)
+            return value * value
+        mean, variance = self._moments_taylor(error)
+        return mean * mean + variance
+
+    def _noise_power_sna(self, error: Any) -> float:
+        if not isinstance(error, HistogramPDF):
+            value = float(error)
+            return value * value
+        return error.mean_square()
+
+    def noise_power_of(self, method: str, error: Any) -> float:
+        """Output noise power of a propagated error — the single number the
+        word-length search needs per candidate, computed without building
+        a full :class:`NoiseReport` (identical to the report's value)."""
+        return getattr(self, f"_noise_power_{method}")(error)
+
+    def _report_sna(
+        self, target: str, error: Any, values: Dict[str, Any], with_contributions: bool = True
+    ) -> NoiseReport:
         if not isinstance(error, HistogramPDF):
             error = HistogramPDF.point(float(error))
         stats = summarize(error)
@@ -428,7 +607,7 @@ class DatapathNoiseAnalyzer:
             mean=stats.mean,
             variance=stats.variance,
             noise_power=stats.noise_power,
-            source_count=len(self.sources),
+            source_count=len(self._sources_by_node),
             error_pdf=error,
         )
 

@@ -148,6 +148,24 @@ class WordLengthAssignment:
         """A shallow copy safe to mutate independently."""
         return WordLengthAssignment(dict(self.formats), self.quantization, self.overflow)
 
+    def key(self) -> tuple:
+        """Canonical hashable identity of this assignment.
+
+        Two assignments with the same per-node formats and the same
+        quantization/overflow modes produce equal keys regardless of dict
+        insertion order, so the key is usable for memoizing anything
+        derived purely from the assignment (analysis results, design
+        evaluations).
+        """
+        return (
+            self.quantization.value,
+            self.overflow.value,
+            tuple(
+                (name, fmt.integer_bits, fmt.fractional_bits, fmt.signed)
+                for name, fmt in sorted(self.formats.items())
+            ),
+        )
+
     def __iter__(self) -> Iterator[str]:
         return iter(self.formats)
 

@@ -31,7 +31,7 @@ from repro.intervals.interval import Interval
 __all__ = ["GainProfile", "transfer_gains"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GainProfile:
     """Per-node noise gains toward one output of a graph."""
 

@@ -27,10 +27,10 @@ from repro.histogram.shapes import quantization_error_histogram
 from repro.intervals.interval import Interval
 from repro.noisemodel.assignment import WordLengthAssignment
 
-__all__ = ["QuantizationSource", "build_sources", "sources_by_node"]
+__all__ = ["QuantizationSource", "source_for_node", "build_sources", "sources_by_node"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QuantizationSource:
     """One quantization point of the datapath, viewed as a noise symbol.
 
@@ -83,6 +83,38 @@ class QuantizationSource:
         return 0.0
 
 
+def source_for_node(
+    node,
+    fmt: FixedPointFormat,
+    quantization: QuantizationMode,
+    overflow=None,
+) -> QuantizationSource:
+    """The quantization source one formatted node injects.
+
+    Factored out of :func:`build_sources` so incremental re-analysis can
+    rebuild the source of a single node whose format changed without
+    re-enumerating the whole graph.
+    """
+    if node.op is OpType.CONST:
+        residue = quantize(float(node.value), fmt, quantization, overflow)
+        residue -= float(node.value)
+        return QuantizationSource(
+            node=node.name,
+            symbol=f"e_{node.name}",
+            fmt=fmt,
+            mode=quantization,
+            error_interval=Interval.point(residue),
+            deterministic=True,
+        )
+    return QuantizationSource(
+        node=node.name,
+        symbol=f"e_{node.name}",
+        fmt=fmt,
+        mode=quantization,
+        error_interval=quantization_error_bounds(fmt, quantization),
+    )
+
+
 def build_sources(
     graph: DFG,
     assignment: WordLengthAssignment,
@@ -102,29 +134,7 @@ def build_sources(
         fmt = assignment.formats.get(name)
         if fmt is None:
             continue
-        if node.op is OpType.CONST:
-            residue = quantize(float(node.value), fmt, assignment.quantization, assignment.overflow)
-            residue -= float(node.value)
-            sources.append(
-                QuantizationSource(
-                    node=name,
-                    symbol=f"e_{name}",
-                    fmt=fmt,
-                    mode=assignment.quantization,
-                    error_interval=Interval.point(residue),
-                    deterministic=True,
-                )
-            )
-            continue
-        sources.append(
-            QuantizationSource(
-                node=name,
-                symbol=f"e_{name}",
-                fmt=fmt,
-                mode=assignment.quantization,
-                error_interval=quantization_error_bounds(fmt, assignment.quantization),
-            )
-        )
+        sources.append(source_for_node(node, fmt, assignment.quantization, assignment.overflow))
     return sources
 
 

@@ -17,6 +17,7 @@ An :class:`OptimizationProblem` bundles everything a strategy needs:
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 from typing import Dict, Mapping
 
@@ -36,7 +37,7 @@ from repro.utils.mathutils import integer_bits_for_range
 __all__ = ["DesignEvaluation", "OptimizationProblem"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DesignEvaluation:
     """One analyzed candidate: its cost, achieved SNR and feasibility."""
 
@@ -90,6 +91,7 @@ class OptimizationProblem:
         overflow: str = "saturate",
         output: str | None = None,
         name: str | None = None,
+        use_incremental: bool = True,
     ) -> None:
         method = str(method).lower()
         if method not in ANALYSIS_METHODS:
@@ -156,7 +158,21 @@ class OptimizationProblem:
 
         #: Analyzer invocations so far (strategies report deltas of this).
         self.analyzer_calls = 0
+        #: Memoized :meth:`evaluate` results served without an analyzer call.
+        self.evaluate_cache_hits = 0
+        #: Wall time spent inside noise analysis (evaluations + baseline
+        #: commits), excluding costing/widening/caching — the optimizer
+        #: "inner loop" number the perf benchmarks report.
+        self.analysis_time_s = 0.0
+        #: When set to a list, evaluate() appends every (widened) assignment
+        #: it actually analyzes — benchmarks replay these through other
+        #: evaluators for apples-to-apples timing.
+        self.analysis_log: list | None = None
+        #: Whether :meth:`evaluate` routes through the incremental engine.
+        self.use_incremental = bool(use_incremental)
         self._uniform_cache: Dict[int, DesignEvaluation] = {}
+        self._eval_cache: Dict[tuple, DesignEvaluation] = {}
+        self._incremental = None  # lazily-built IncrementalAnalyzer
         self._gain_sq: Dict[str, float] | None = None
         self._gain_abs: Dict[str, float] | None = None
 
@@ -200,7 +216,7 @@ class OptimizationProblem:
     # evaluation
     # ------------------------------------------------------------------ #
     def evaluate(self, assignment: WordLengthAssignment) -> DesignEvaluation:
-        """Analyze one candidate (one analyzer call) and price it.
+        """Analyze one candidate and price it.
 
         The assignment is coverage-widened first: shaving fractional bits
         *lowers* a format's ``max_value`` (``2**(i-1) - 2**-f``), so a
@@ -209,28 +225,95 @@ class OptimizationProblem:
         would break the saturation-free premise of the error models.  The
         returned evaluation carries (and prices) the widened assignment;
         strategies must continue from ``evaluation.assignment``.
+
+        **Caching contract.**  Evaluations are memoized on the canonical
+        :meth:`WordLengthAssignment.key` of the *widened* assignment: two
+        candidates that widen to the same design return the same (cached)
+        evaluation, cost nothing, and bump :attr:`evaluate_cache_hits`
+        instead of :attr:`analyzer_calls` — annealing never re-prices a
+        revisited design.  Cache misses run through a long-lived
+        :class:`~repro.analysis.incremental.IncrementalAnalyzer` (unless
+        ``use_incremental=False``), which re-propagates only the
+        downstream cone of the nodes whose formats changed since the last
+        analyzed candidate; greedy single-node probes therefore cost
+        O(cone) instead of O(graph).  The cache is sound because an
+        evaluation depends only on the assignment and on problem-level
+        constants (graph, ranges, method, floor, cost model); mutate any
+        of those and the problem must be rebuilt, not reused.
         """
         assignment = ensure_range_coverage(assignment, self.ranges)
-        analyzer = DatapathNoiseAnalyzer(
-            self.graph,
-            assignment,
-            self.input_ranges,
-            horizon=self.horizon,
-            bins=self.bins,
-        )
-        report = analyzer.analyze(self.method, output=self.output)
+        key = assignment.key()
+        cached = self._eval_cache.get(key)
+        if cached is not None:
+            self.evaluate_cache_hits += 1
+            return cached
+        if self.analysis_log is not None:
+            self.analysis_log.append(assignment)
+        started = time.perf_counter()
+        noise_power = self._analyze(assignment)
+        self.analysis_time_s += time.perf_counter() - started
         self.analyzer_calls += 1
-        snr_db = report.snr_db(self.signal_power)
+        snr_db = self._snr_db(noise_power)
         breakdown = self.cost_model.price(self.graph, assignment)
-        return DesignEvaluation(
+        evaluation = DesignEvaluation(
             assignment=assignment,
             cost=breakdown.total,
             snr_db=snr_db,
-            noise_power=report.noise_power,
+            noise_power=noise_power,
             feasible=snr_db >= self.snr_floor_db + self.margin_db,
             breakdown=breakdown,
             index=self.analyzer_calls,
         )
+        self._eval_cache[key] = evaluation
+        return evaluation
+
+    def _snr_db(self, noise_power: float) -> float:
+        if noise_power <= 0.0:
+            return float("inf")
+        if self.signal_power <= 0.0:
+            return float("-inf")
+        return 10.0 * math.log10(self.signal_power / noise_power)
+
+    def _analyze(self, assignment: WordLengthAssignment) -> float:
+        """Output noise power of one candidate (incremental when enabled)."""
+        if not self.use_incremental:
+            analyzer = DatapathNoiseAnalyzer(
+                self.graph,
+                assignment,
+                self.input_ranges,
+                horizon=self.horizon,
+                bins=self.bins,
+            )
+            report = analyzer.analyze(self.method, output=self.output, contributions=False)
+            return report.noise_power
+        if self._incremental is None:
+            # Local import: repro.analysis imports repro.optimize at module
+            # scope (pipeline wiring); importing back lazily avoids the cycle.
+            from repro.analysis.incremental import IncrementalAnalyzer
+
+            self._incremental = IncrementalAnalyzer(
+                self.graph,
+                assignment,
+                self.input_ranges,
+                horizon=self.horizon,
+                bins=self.bins,
+            )
+        return self._incremental.noise_power(assignment, self.method, output=self.output)
+
+    def notify_accepted(self, assignment: WordLengthAssignment) -> None:
+        """Tell the evaluator that ``assignment`` is the search's new current design.
+
+        Strategies call this when they accept a move (passing the widened
+        ``evaluation.assignment``).  The incremental engine then commits
+        the design as its re-propagation baseline, so every subsequent
+        probe pays only the cone of its own perturbation instead of
+        (probe + drift-since-baseline).  Purely a performance hint —
+        results are identical without it.
+        """
+        if self._incremental is not None:
+            started = time.perf_counter()
+            self._incremental.commit(assignment)
+            self.analysis_time_s += time.perf_counter() - started
 
     def monte_carlo_snr(
         self, assignment: WordLengthAssignment, samples: int = 20_000, seed: int | None = 0
@@ -249,11 +332,7 @@ class OptimizationProblem:
             output=self.output,
             rng=seed,
         )
-        if result.noise_power <= 0.0:
-            return float("inf")
-        if self.signal_power <= 0.0:
-            return float("-inf")
-        return 10.0 * math.log10(self.signal_power / result.noise_power)
+        return self._snr_db(result.noise_power)
 
     # ------------------------------------------------------------------ #
     # gain-based candidate ranking (no analyzer calls)

@@ -23,7 +23,9 @@ class IterationRecord:
     ``action`` is a short human-readable move description (e.g.
     ``"uniform W=14"`` or ``"shave mul_0 -> 9 frac"``); ``accepted`` is
     False for probed-and-rejected moves, which still cost an analyzer
-    call and belong in the trace.
+    call and belong in the trace.  ``cache_hits`` is the problem's
+    cumulative count of memoized evaluations at record time, so a trace
+    shows exactly which moves were re-priced for free.
     """
 
     index: int
@@ -33,6 +35,7 @@ class IterationRecord:
     feasible: bool
     accepted: bool
     analyzer_calls: int
+    cache_hits: int = 0
 
     def to_dict(self) -> dict:
         """JSON-serializable view."""
@@ -44,6 +47,7 @@ class IterationRecord:
             "feasible": self.feasible,
             "accepted": self.accepted,
             "analyzer_calls": self.analyzer_calls,
+            "cache_hits": self.cache_hits,
         }
 
 

@@ -60,6 +60,7 @@ def _record(
             feasible=evaluation.feasible,
             accepted=accepted,
             analyzer_calls=problem.analyzer_calls,
+            cache_hits=problem.evaluate_cache_hits,
         )
     )
 
@@ -94,9 +95,11 @@ class WordLengthOptimizer(abc.ABC):
         """Run the search, timing it and accounting analyzer calls."""
         trace: List[IterationRecord] = []
         calls_before = problem.analyzer_calls
+        hits_before = problem.evaluate_cache_hits
         started = time.perf_counter()
         best, baseline_cost, baseline_w = self._search(problem, trace)
         runtime = time.perf_counter() - started
+        extra = {"evaluate_cache_hits": float(problem.evaluate_cache_hits - hits_before)}
         if best is None:
             return OptimizationResult(
                 strategy=self.name,
@@ -113,6 +116,7 @@ class WordLengthOptimizer(abc.ABC):
                 iterations=trace,
                 analyzer_calls=problem.analyzer_calls - calls_before,
                 runtime_s=runtime,
+                extra=extra,
             )
         return OptimizationResult(
             strategy=self.name,
@@ -129,6 +133,7 @@ class WordLengthOptimizer(abc.ABC):
             iterations=trace,
             analyzer_calls=problem.analyzer_calls - calls_before,
             runtime_s=runtime,
+            extra=extra,
         )
 
     @abc.abstractmethod
@@ -204,6 +209,7 @@ class GreedyBitStealingOptimizer(WordLengthOptimizer):
     ) -> DesignEvaluation:
         current = start
         blocked: set[str] = set()
+        problem.notify_accepted(current.assignment)
         for _step in range(self.max_iterations):
             candidate = self._best_candidate(problem, current, blocked)
             if candidate is None:
@@ -218,6 +224,7 @@ class GreedyBitStealingOptimizer(WordLengthOptimizer):
             if evaluation.feasible and evaluation.cost < current.cost:
                 _record(trace, problem, action, evaluation, True)
                 current = evaluation
+                problem.notify_accepted(current.assignment)
             else:
                 _record(trace, problem, action, evaluation, False)
                 blocked.add(node)
@@ -328,6 +335,7 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
             return best, uniform_eval.cost, uniform_w
 
         current_energy = self._energy(problem, current, penalty_scale)
+        problem.notify_accepted(current.assignment)
         for _step in range(self.iterations):
             node = tunable[int(rng.integers(len(tunable)))]
             fmt = current.assignment.format_of(node)
@@ -354,6 +362,7 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
             )
             if accept:
                 current, current_energy = candidate, candidate_energy
+                problem.notify_accepted(current.assignment)
                 if current.feasible and current.cost < best.cost:
                     best = current
             temperature = max(temperature * self.cooling, 1e-9)
