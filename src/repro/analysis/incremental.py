@@ -153,7 +153,6 @@ class IncrementalAnalyzer:
         #: adjacent precisions of the same nodes, so sources recur heavily.
         self._source_cache: Dict[Tuple[str, Any], Any] = {}
         self._downstream: Dict[str, FrozenSet[str]] = {}
-        self._ancestors: Dict[str, FrozenSet[str]] = {}
         self._cones: Dict[Tuple[str, str], Tuple[str, ...]] = {}
         self._values: Dict[str, Dict[str, Any]] = {}
         self._contexts: Dict[str, AffineContext | None] = {}
@@ -208,20 +207,11 @@ class IncrementalAnalyzer:
         self-contained subsystem and everything else is dead state for
         this output.
         """
-        cached = self._ancestors.get(target)
-        if cached is not None:
-            return cached
-        graph = self.analyzer.graph
-        seen = {target}
-        queue = deque((target,))
-        while queue:
-            for operand in graph.node(queue.popleft()).inputs:
-                if operand not in seen:
-                    seen.add(operand)
-                    queue.append(operand)
-        closure = frozenset(seen)
-        self._ancestors[target] = closure
-        return closure
+        # Delegates to the analyzer's cached closure — the very same set
+        # its full sweep restricts error propagation to, so incremental
+        # and from-scratch analyses agree even on which domain
+        # violations they can encounter.
+        return self.analyzer._ancestor_closure(target)
 
     def cone_of(self, base: str, target: str) -> Tuple[str, ...]:
         """Re-propagation schedule for a change at ``base`` toward ``target``.
@@ -398,10 +388,20 @@ class IncrementalAnalyzer:
             self.stats.commits += 1
         else:
             errors = ChainMap({}, state.errors)
-        for name in order:
-            errors[name] = analyzer._error_of(
-                method, name, graph.node(name), values, errors, context
-            )
+        try:
+            for name in order:
+                errors[name] = analyzer._error_of(
+                    method, name, graph.node(name), values, errors, context
+                )
+        except Exception:
+            if committing:
+                # A rule that raised mid-cone (e.g. a DomainError from a
+                # candidate whose errors leave a sqrt/log operand's
+                # domain) leaves the committed baseline half-updated;
+                # drop it so the next analysis rebuilds from scratch
+                # instead of propagating a corrupt state.
+                self._states.pop(state_key, None)
+            raise
         if not committing:
             self._pending_overlay = (
                 state_key,

@@ -1,7 +1,7 @@
 """The benchmark circuit library.
 
-Six small but structurally diverse fixed-point datapaths exercise every
-corner of the analysis stack:
+Eleven small but structurally diverse fixed-point datapaths exercise
+every corner of the analysis stack:
 
 * ``quadratic`` — the paper's running example (``x**2 + x``): a repeated
   operand, where IA's dependency problem shows and SNA shines;
@@ -15,11 +15,24 @@ corner of the analysis stack:
 * ``fft_butterfly`` — a radix-2 butterfly with a real twiddle: two
   outputs sharing sub-expressions;
 * ``matmul2`` — one row of a 2x2 matrix product: wide fan-in of
-  independent inputs.
+  independent inputs;
+* ``newton_inverse`` — two Newton-Raphson reciprocal refinement steps
+  with a MUX-predicated initial guess and an ABS magnitude clean-up;
+* ``rms_normalize`` — square / mean / SQRT with a MAX-clamped divisor:
+  the energy-normalization pattern of AGC front-ends;
+* ``sigmoid_neuron`` — the logistic activation ``1/(1 + exp(-wx - b))``:
+  EXP feeding a division;
+* ``log_energy`` — ``log(x^2 + y^2 + eps)``: the log-power computation
+  of spectral front-ends;
+* ``complex_magnitude`` — ``min(sqrt(x^2 + y^2), limit)``: a saturating
+  magnitude with a sign-crossing MIN selection.
 
-Every circuit is a :class:`BenchmarkCircuit` carrying its graph, input
-ranges and a suggested analysis output, so a pipeline can consume it
-directly: ``pipeline.analyze(get_circuit("fir4"))``.
+The nonlinear five are written through the trace frontend
+(:mod:`repro.dfg.trace`) — plain Python functions executed over tracer
+wires — and wrapped into the same :class:`BenchmarkCircuit` record.
+Every circuit carries its graph, input ranges and a suggested analysis
+output, so a pipeline can consume it directly:
+``pipeline.analyze(get_circuit("fir4"))``.
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ from typing import Callable, Dict, List
 
 from repro.dfg.builder import DFGBuilder, Wire, expression_to_dfg
 from repro.dfg.graph import DFG
+from repro.dfg.trace import exp, fabs, log, maximum, minimum, mux, sqrt, square, trace
 from repro.errors import DesignError
 from repro.intervals.interval import Interval
 from repro.symbols.expression import Symbol
@@ -165,6 +179,95 @@ def _matmul2() -> BenchmarkCircuit:
     )
 
 
+def _traced(fn, input_ranges, description, tags) -> BenchmarkCircuit:
+    """Wrap a trace-frontend function into a :class:`BenchmarkCircuit`."""
+    traced = trace(fn, input_ranges)
+    return BenchmarkCircuit(
+        name=traced.name,
+        graph=traced.graph,
+        input_ranges=dict(traced.input_ranges),
+        description=description,
+        tags=tags,
+    )
+
+
+def _newton_inverse() -> BenchmarkCircuit:
+    def newton_inverse(d):
+        # Initial guess predicated on the (always non-negative) operand
+        # sign — exercises the sign-decided MUX path — then two
+        # Newton-Raphson refinements y <- y * (2 - d * y), and an ABS
+        # magnitude clean-up on the (positive) result.
+        y = mux(d, 0.55, 0.8)
+        y = y * (2.0 - d * y)
+        y = y * (2.0 - d * y)
+        return fabs(y)
+
+    return _traced(
+        newton_inverse,
+        {"d": (1.0, 2.0)},
+        "two Newton-Raphson reciprocal steps (MUX-predicated guess, ABS clean-up)",
+        ("combinational", "nonlinear", "iterative"),
+    )
+
+
+def _rms_normalize() -> BenchmarkCircuit:
+    def rms_normalize(a, b):
+        mean_square = (square(a) + square(b)) * 0.5
+        rms = sqrt(mean_square)
+        # MAX-clamp the divisor: the clamp threshold sits inside the rms
+        # range, so the selection is genuinely data-dependent.
+        return a / maximum(rms, 0.7)
+
+    # Input lows sit above hi/3 so even AA's dependency-blind square
+    # enclosure stays positive going into the SQRT.
+    return _traced(
+        rms_normalize,
+        {"a": (0.5, 1.0), "b": (0.5, 1.0)},
+        "RMS normalization with a MAX-clamped divisor (AGC pattern)",
+        ("combinational", "nonlinear", "selection"),
+    )
+
+
+def _sigmoid_neuron() -> BenchmarkCircuit:
+    def sigmoid_neuron(x):
+        activation = x * 0.8 + 0.2
+        return 1.0 / (exp(-activation) + 1.0)
+
+    return _traced(
+        sigmoid_neuron,
+        {"x": (-1.0, 1.0)},
+        "logistic neuron 1/(1 + exp(-(0.8 x + 0.2))) (EXP into a divide)",
+        ("combinational", "nonlinear", "activation"),
+    )
+
+
+def _log_energy() -> BenchmarkCircuit:
+    def log_energy(x, y):
+        return log(square(x) + square(y) + 0.25)
+
+    return _traced(
+        log_energy,
+        {"x": (-1.0, 1.0), "y": (-1.0, 1.0)},
+        "log-power log(x^2 + y^2 + 0.25) (spectral front-end pattern)",
+        ("combinational", "nonlinear"),
+    )
+
+
+def _complex_magnitude() -> BenchmarkCircuit:
+    def complex_magnitude(x, y):
+        magnitude = sqrt(square(x) + square(y))
+        return minimum(magnitude, 1.2)
+
+    # Input lows sit above hi/3 so even AA's dependency-blind square
+    # enclosure stays positive going into the SQRT.
+    return _traced(
+        complex_magnitude,
+        {"x": (0.4, 1.0), "y": (0.4, 1.0)},
+        "saturating complex magnitude min(sqrt(x^2 + y^2), 1.2) (SQRT + MIN)",
+        ("combinational", "nonlinear", "selection"),
+    )
+
+
 #: Registry of circuit builders, in canonical benchmark order.
 CIRCUITS: Dict[str, Callable[[], BenchmarkCircuit]] = {
     "quadratic": _quadratic,
@@ -173,6 +276,11 @@ CIRCUITS: Dict[str, Callable[[], BenchmarkCircuit]] = {
     "iir_biquad": _iir_biquad,
     "fft_butterfly": _fft_butterfly,
     "matmul2": _matmul2,
+    "newton_inverse": _newton_inverse,
+    "rms_normalize": _rms_normalize,
+    "sigmoid_neuron": _sigmoid_neuron,
+    "log_energy": _log_energy,
+    "complex_magnitude": _complex_magnitude,
 }
 
 

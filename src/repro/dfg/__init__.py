@@ -19,12 +19,15 @@ from repro.dfg.evaluate import (
 from repro.dfg.graph import DFG
 from repro.dfg.node import Node, OpType
 from repro.dfg.range_analysis import formats_for_ranges, infer_ranges
+from repro.dfg.trace import TracedCircuit, trace
 from repro.dfg.unroll import UnrolledGraph, unroll_sequential
 
 __all__ = [
     "DFG",
     "Node",
     "OpType",
+    "trace",
+    "TracedCircuit",
     "DFGBuilder",
     "Wire",
     "expression_to_dfg",

@@ -98,6 +98,36 @@ class Wire:
         name = self.builder.graph.add_square(self.node_name)
         return Wire(self.builder, name)
 
+    def sqrt(self) -> "Wire":
+        """``sqrt`` of this wire (range must stay non-negative)."""
+        return Wire(self.builder, self.builder.graph.add_sqrt(self.node_name))
+
+    def exp(self) -> "Wire":
+        """``exp`` of this wire."""
+        return Wire(self.builder, self.builder.graph.add_exp(self.node_name))
+
+    def log(self) -> "Wire":
+        """``log`` of this wire (range must stay strictly positive)."""
+        return Wire(self.builder, self.builder.graph.add_log(self.node_name))
+
+    def __abs__(self) -> "Wire":
+        return Wire(self.builder, self.builder.graph.add_abs(self.node_name))
+
+    def minimum(self, other: "Wire | Number") -> "Wire":
+        """``min(self, other)``."""
+        return self._binary(other, OpType.MIN)
+
+    def maximum(self, other: "Wire | Number") -> "Wire":
+        """``max(self, other)``."""
+        return self._binary(other, OpType.MAX)
+
+    def mux(self, a: "Wire | Number", b: "Wire | Number") -> "Wire":
+        """``self >= 0 ? a : b`` — this wire is the selector."""
+        a = self._coerce(a)
+        b = self._coerce(b)
+        name = self.builder.graph.add_mux(self.node_name, a.node_name, b.node_name)
+        return Wire(self.builder, name)
+
     def delay(self, steps: int = 1) -> "Wire":
         """This signal delayed by ``steps`` unit sample delays."""
         if steps < 1:

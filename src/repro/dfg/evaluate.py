@@ -22,9 +22,10 @@ import numpy as np
 
 from repro.dfg.graph import DFG
 from repro.dfg.node import Node, OpType
-from repro.errors import DFGError
+from repro.errors import DFGError, DomainError
 from repro.fixedpoint.format import FixedPointFormat, OverflowMode, QuantizationMode
 from repro.fixedpoint.quantize import quantize, quantize_array
+from repro.intervals.interval import Interval
 
 __all__ = [
     "evaluate_combinational",
@@ -36,7 +37,53 @@ __all__ = [
 ]
 
 
+def _minimum(a: Any, b: Any) -> Any:
+    """Elementwise/algebra ``min`` with duck-typed dispatch (symmetric)."""
+    if hasattr(a, "minimum"):
+        return a.minimum(b)
+    if hasattr(b, "minimum"):
+        return b.minimum(a)
+    return np.minimum(a, b)
+
+
+def _maximum(a: Any, b: Any) -> Any:
+    """Elementwise/algebra ``max`` with duck-typed dispatch (symmetric)."""
+    if hasattr(a, "maximum"):
+        return a.maximum(b)
+    if hasattr(b, "maximum"):
+        return b.maximum(a)
+    return np.maximum(a, b)
+
+
+def _mux(select: Any, a: Any, b: Any) -> Any:
+    """``select >= 0 ? a : b`` for floats, arrays and intervals.
+
+    An interval selector whose sign is not decided yields the hull of
+    both branches (the enclosure algebras in the noise analyzer refine
+    this; plain evaluation only needs a sound range).
+    """
+    if isinstance(select, Interval):
+        if select.lo >= 0.0:
+            return a
+        if select.hi < 0.0:
+            return b
+        a_iv = a if isinstance(a, Interval) else Interval.point(float(a))
+        return a_iv.hull(b if isinstance(b, Interval) else Interval.point(float(b)))
+    if isinstance(select, (int, float)):
+        return a if select >= 0.0 else b
+    return np.where(np.asarray(select) >= 0.0, a, b)
+
+
 def _apply_op(node: Node, operands: list[Any]) -> Any:
+    try:
+        return _apply_op_raw(node, operands)
+    except DomainError as exc:
+        if exc.node is not None:
+            raise
+        raise DomainError(f"node {node.name!r} ({node.op.value}): {exc}", node=node.name) from exc
+
+
+def _apply_op_raw(node: Node, operands: list[Any]) -> Any:
     if node.op is OpType.ADD:
         return operands[0] + operands[1]
     if node.op is OpType.SUB:
@@ -52,6 +99,23 @@ def _apply_op(node: Node, operands: list[Any]) -> Any:
         if hasattr(value, "square"):
             return value.square()
         return value * value
+    if node.op is OpType.SQRT:
+        value = operands[0]
+        return value.sqrt() if hasattr(value, "sqrt") else np.sqrt(value)
+    if node.op is OpType.EXP:
+        value = operands[0]
+        return value.exp() if hasattr(value, "exp") else np.exp(value)
+    if node.op is OpType.LOG:
+        value = operands[0]
+        return value.log() if hasattr(value, "log") else np.log(value)
+    if node.op is OpType.ABS:
+        return abs(operands[0])
+    if node.op is OpType.MIN:
+        return _minimum(operands[0], operands[1])
+    if node.op is OpType.MAX:
+        return _maximum(operands[0], operands[1])
+    if node.op is OpType.MUX:
+        return _mux(operands[0], operands[1], operands[2])
     if node.op is OpType.OUTPUT:
         return operands[0]
     raise DFGError(f"unsupported operation {node.op!r} in evaluation")

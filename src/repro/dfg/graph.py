@@ -100,6 +100,34 @@ class DFG:
         """Add ``a ** 2`` (kept distinct from ``a * a`` for dependency-aware analyses)."""
         return self.add_op(OpType.SQUARE, a, name=name)
 
+    def add_sqrt(self, a: str, name: str | None = None) -> str:
+        """Add ``sqrt(a)`` (operand range must stay non-negative)."""
+        return self.add_op(OpType.SQRT, a, name=name)
+
+    def add_exp(self, a: str, name: str | None = None) -> str:
+        """Add ``exp(a)``."""
+        return self.add_op(OpType.EXP, a, name=name)
+
+    def add_log(self, a: str, name: str | None = None) -> str:
+        """Add ``log(a)`` (operand range must stay strictly positive)."""
+        return self.add_op(OpType.LOG, a, name=name)
+
+    def add_abs(self, a: str, name: str | None = None) -> str:
+        """Add ``|a|``."""
+        return self.add_op(OpType.ABS, a, name=name)
+
+    def add_min(self, a: str, b: str, name: str | None = None) -> str:
+        """Add ``min(a, b)``."""
+        return self.add_op(OpType.MIN, a, b, name=name)
+
+    def add_max(self, a: str, b: str, name: str | None = None) -> str:
+        """Add ``max(a, b)``."""
+        return self.add_op(OpType.MAX, a, b, name=name)
+
+    def add_mux(self, select: str, a: str, b: str, name: str | None = None) -> str:
+        """Add ``select >= 0 ? a : b`` (sign-predicated 2:1 selector)."""
+        return self.add_op(OpType.MUX, select, a, b, name=name)
+
     def add_delay(self, a: str | None = None, name: str | None = None) -> str:
         """Add a unit delay register.
 

@@ -8,7 +8,7 @@ from typing import Tuple
 
 from repro.errors import DFGError
 
-__all__ = ["OpType", "Node", "OP_ARITY"]
+__all__ = ["OpType", "Node", "OP_ARITY", "ARITHMETIC_OPS"]
 
 
 class OpType(str, enum.Enum):
@@ -28,11 +28,20 @@ class OpType(str, enum.Enum):
     DIV = "div"
     NEG = "neg"
     SQUARE = "square"
+    SQRT = "sqrt"
+    EXP = "exp"
+    LOG = "log"
+    ABS = "abs"
+    MIN = "min"
+    MAX = "max"
+    MUX = "mux"
     DELAY = "delay"
     OUTPUT = "output"
 
 
-#: Number of operands each operation expects.
+#: Number of operands each operation expects.  ``MUX`` takes
+#: ``(select, a, b)`` and forwards ``a`` when ``select >= 0``, ``b``
+#: otherwise (a sign-predicated 2:1 selector).
 OP_ARITY: dict[OpType, int] = {
     OpType.INPUT: 0,
     OpType.CONST: 0,
@@ -42,13 +51,34 @@ OP_ARITY: dict[OpType, int] = {
     OpType.DIV: 2,
     OpType.NEG: 1,
     OpType.SQUARE: 1,
+    OpType.SQRT: 1,
+    OpType.EXP: 1,
+    OpType.LOG: 1,
+    OpType.ABS: 1,
+    OpType.MIN: 2,
+    OpType.MAX: 2,
+    OpType.MUX: 3,
     OpType.DELAY: 1,
     OpType.OUTPUT: 1,
 }
 
 #: Operations that allocate an arithmetic functional unit during synthesis.
 ARITHMETIC_OPS = frozenset(
-    {OpType.ADD, OpType.SUB, OpType.MUL, OpType.DIV, OpType.NEG, OpType.SQUARE}
+    {
+        OpType.ADD,
+        OpType.SUB,
+        OpType.MUL,
+        OpType.DIV,
+        OpType.NEG,
+        OpType.SQUARE,
+        OpType.SQRT,
+        OpType.EXP,
+        OpType.LOG,
+        OpType.ABS,
+        OpType.MIN,
+        OpType.MAX,
+        OpType.MUX,
+    }
 )
 
 
@@ -103,5 +133,12 @@ class Node:
 
     @property
     def is_multiplier_class(self) -> bool:
-        """True for operations mapped onto multiplier-like resources."""
-        return self.op in (OpType.MUL, OpType.DIV, OpType.SQUARE)
+        """True for operations mapped onto multiplier-like (array) resources."""
+        return self.op in (
+            OpType.MUL,
+            OpType.DIV,
+            OpType.SQUARE,
+            OpType.SQRT,
+            OpType.EXP,
+            OpType.LOG,
+        )

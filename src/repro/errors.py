@@ -14,6 +14,7 @@ __all__ = [
     "IntervalError",
     "EmptyIntervalError",
     "DivisionByZeroIntervalError",
+    "DomainError",
     "HistogramError",
     "SymbolError",
     "ExpressionError",
@@ -45,6 +46,20 @@ class EmptyIntervalError(IntervalError):
 
 class DivisionByZeroIntervalError(IntervalError):
     """Raised when dividing by an interval that contains zero."""
+
+
+class DomainError(IntervalError):
+    """Raised when an operand enclosure leaves a function's domain.
+
+    Carries the offending ``node`` name when the violation is detected
+    during a dataflow-graph analysis, so the report points at the actual
+    signal (``sqrt``/``log`` of a range crossing the domain boundary)
+    instead of propagating NaN/inf into downstream enclosures.
+    """
+
+    def __init__(self, message: str, node: "str | None" = None) -> None:
+        super().__init__(message)
+        self.node = node
 
 
 class HistogramError(ReproError):

@@ -17,18 +17,25 @@ from typing import Callable, Tuple
 
 import numpy as np
 
-from repro.errors import DivisionByZeroIntervalError, HistogramError
+from repro.errors import DivisionByZeroIntervalError, DomainError, HistogramError
 from repro.intervals.interval import Interval
 
 __all__ = [
     "spread_intervals",
     "pairwise_op",
+    "unary_interval_op",
+    "transform_histogram",
+    "mix_histograms",
     "combine_histograms",
     "SUPPORTED_BINARY_OPS",
+    "SUPPORTED_UNARY_OPS",
 ]
 
 #: Binary operations with a dedicated vectorized kernel.
 SUPPORTED_BINARY_OPS = ("add", "sub", "mul", "div", "min", "max")
+
+#: Unary operations with a dedicated vectorized kernel.
+SUPPORTED_UNARY_OPS = ("neg", "abs", "square", "sqrt", "exp", "log")
 
 #: Reusable 0..n ramps for the equal-width output edges of combines.
 _ARANGE_CACHE: dict = {}
@@ -188,6 +195,132 @@ def pairwise_op(
     if op == "max":
         return np.maximum(lo_a, lo_b), np.maximum(hi_a, hi_b)
     raise HistogramError(f"unsupported binary operation {op!r}")
+
+
+def unary_interval_op(
+    op: str,
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized exact image of a unary operation on interval arrays.
+
+    ``sqrt``/``exp``/``log`` are monotone; ``abs``/``square`` handle
+    sign-crossing intervals with the dependency-aware lower bound of 0.
+    ``sqrt``/``log`` raise :class:`~repro.errors.DomainError` when any
+    interval leaves the function's domain instead of letting NaN/-inf
+    leak into the result bins.
+    """
+    if op == "neg":
+        return -hi, -lo
+    if op == "abs":
+        alo = np.abs(lo)
+        ahi = np.abs(hi)
+        crossing = (lo < 0.0) & (hi > 0.0)
+        res_lo = np.where(crossing, 0.0, np.minimum(alo, ahi))
+        return res_lo, np.maximum(alo, ahi)
+    if op == "square":
+        slo = lo * lo
+        shi = hi * hi
+        crossing = (lo < 0.0) & (hi > 0.0)
+        res_lo = np.where(crossing, 0.0, np.minimum(slo, shi))
+        return res_lo, np.maximum(slo, shi)
+    if op == "sqrt":
+        if lo.size and float(np.min(lo)) < 0.0:
+            raise DomainError(
+                f"sqrt requires non-negative bins, got a bin reaching {float(np.min(lo))}"
+            )
+        return np.sqrt(lo), np.sqrt(hi)
+    if op == "exp":
+        return np.exp(lo), np.exp(hi)
+    if op == "log":
+        if lo.size and float(np.min(lo)) <= 0.0:
+            raise DomainError(
+                f"log requires strictly positive bins, got a bin reaching {float(np.min(lo))}"
+            )
+        return np.log(lo), np.log(hi)
+    raise HistogramError(f"unsupported unary operation {op!r}")
+
+
+def transform_histogram(
+    edges: np.ndarray,
+    probs: np.ndarray,
+    op: str,
+    out_bins: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Push a histogram through a unary operation, fully vectorized.
+
+    Every positive-mass bin is mapped through the exact interval image of
+    ``op`` and the mass is spread over ``out_bins`` equal result bins —
+    the unary counterpart of :func:`combine_histograms`, with no
+    Python-level loop over bins.
+    """
+    edges = np.asarray(edges, dtype=float)
+    probs = np.asarray(probs, dtype=float)
+    if out_bins < 1:
+        raise HistogramError(f"out_bins must be >= 1, got {out_bins}")
+    keep = probs > 0.0
+    lo = edges[:-1][keep]
+    hi = edges[1:][keep]
+    mass = probs[keep]
+    if lo.size == 0:
+        raise HistogramError("cannot transform a histogram with no probability mass")
+    res_lo, res_hi = unary_interval_op(op, lo, hi)
+
+    hull_lo = float(res_lo.min())
+    hull_hi = float(res_hi.max())
+    if hull_hi <= hull_lo:
+        half_width = max(abs(hull_lo), 1.0) * 1e-12
+        out_edges = np.array([hull_lo - half_width, hull_lo + half_width])
+        return out_edges, np.array([float(np.sum(mass))])
+    out_edges = np.linspace(hull_lo, hull_hi, out_bins + 1)
+    out_edges[-1] = hull_hi
+    return out_edges, _spread_core(res_lo, res_hi, mass, out_edges)
+
+
+def mix_histograms(
+    parts: "list[Tuple[np.ndarray, np.ndarray, float]]",
+    out_bins: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Mixture of several histograms with the given non-negative weights.
+
+    ``parts`` is a list of ``(edges, probs, weight)``; the result is the
+    distribution of a value drawn from part ``k`` with probability
+    proportional to ``weight_k``, spread over ``out_bins`` equal bins
+    covering the hull of every component's support.  This is the SNA
+    kernel behind data-dependent selection (``min``/``max``/``mux``
+    branch blends).
+    """
+    if out_bins < 1:
+        raise HistogramError(f"out_bins must be >= 1, got {out_bins}")
+    lo_parts = []
+    hi_parts = []
+    mass_parts = []
+    for edges, probs, weight in parts:
+        weight = float(weight)
+        if weight < 0.0:
+            raise HistogramError(f"mixture weights must be >= 0, got {weight}")
+        if weight == 0.0:
+            continue
+        edges = np.asarray(edges, dtype=float)
+        probs = np.asarray(probs, dtype=float)
+        lo_parts.append(edges[:-1])
+        hi_parts.append(edges[1:])
+        mass_parts.append(probs * weight)
+    if not lo_parts:
+        raise HistogramError("mixture requires at least one positive-weight component")
+    lo = np.concatenate(lo_parts)
+    hi = np.concatenate(hi_parts)
+    mass = np.concatenate(mass_parts)
+
+    hull_lo = float(lo.min())
+    hull_hi = float(hi.max())
+    if hull_hi <= hull_lo:
+        half_width = max(abs(hull_lo), 1.0) * 1e-12
+        out_edges = np.array([hull_lo - half_width, hull_lo + half_width])
+        return out_edges, np.array([float(np.sum(mass))])
+    out_edges = np.linspace(hull_lo, hull_hi, out_bins + 1)
+    out_edges[-1] = hull_hi
+    return out_edges, _spread_core(lo, hi, mass, out_edges)
 
 
 def combine_histograms(

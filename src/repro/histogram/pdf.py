@@ -14,7 +14,12 @@ from typing import Callable, Iterable, Sequence, Union
 import numpy as np
 
 from repro.errors import HistogramError
-from repro.histogram.arithmetic import combine_histograms, spread_intervals
+from repro.histogram.arithmetic import (
+    combine_histograms,
+    mix_histograms,
+    spread_intervals,
+    transform_histogram,
+)
 from repro.intervals.interval import Interval
 
 __all__ = ["HistogramPDF"]
@@ -407,22 +412,51 @@ class HistogramPDF:
     def __neg__(self) -> "HistogramPDF":
         return self.scale(-1.0)
 
+    def _unary(self, op: str, bins: int | None = None) -> "HistogramPDF":
+        """Push the distribution through a vectorized unary kernel."""
+        out_bins = self.nbins if bins is None else int(bins)
+        edges, probs = transform_histogram(self.edges, self.probs, op, out_bins)
+        return HistogramPDF._trusted(edges, probs)
+
     def square(self) -> "HistogramPDF":
         """Distribution of ``X ** 2`` (dependency-aware, unlike ``X * X``)."""
-        intervals = [
-            (Interval(float(a), float(b)).square(), float(p))
-            for a, b, p in zip(self.edges[:-1], self.edges[1:], self.probs)
-            if p > 0
-        ]
-        return HistogramPDF.from_weighted_intervals(intervals, bins=self.nbins)
+        return self._unary("square")
 
     def __abs__(self) -> "HistogramPDF":
-        intervals = [
-            (abs(Interval(float(a), float(b))), float(p))
-            for a, b, p in zip(self.edges[:-1], self.edges[1:], self.probs)
-            if p > 0
-        ]
-        return HistogramPDF.from_weighted_intervals(intervals, bins=self.nbins)
+        return self._unary("abs")
+
+    def sqrt(self, bins: int | None = None) -> "HistogramPDF":
+        """Distribution of ``sqrt(X)`` (support must be non-negative)."""
+        return self._unary("sqrt", bins)
+
+    def exp(self, bins: int | None = None) -> "HistogramPDF":
+        """Distribution of ``exp(X)``."""
+        return self._unary("exp", bins)
+
+    def log(self, bins: int | None = None) -> "HistogramPDF":
+        """Distribution of ``log(X)`` (support must be strictly positive)."""
+        return self._unary("log", bins)
+
+    @classmethod
+    def mixture(
+        cls,
+        parts: Iterable[tuple["HistogramPDF", float]],
+        bins: int | None = None,
+    ) -> "HistogramPDF":
+        """Mixture distribution: draw from part ``k`` with weight ``w_k``.
+
+        The sound SNA reading of data-dependent selection — a
+        ``min``/``max``/``mux`` output follows one operand or the other,
+        so its error distribution is a branch-probability-weighted blend
+        whose support is the hull of the component supports.
+        """
+        items = [(pdf, float(w)) for pdf, w in parts]
+        if bins is None:
+            bins = max((pdf.nbins for pdf, _ in items), default=1)
+        edges, probs = mix_histograms(
+            [(pdf.edges, pdf.probs, weight) for pdf, weight in items], int(bins)
+        )
+        return cls._trusted(edges, probs)
 
     def apply_monotone(
         self, func: Callable[[float], float], bins: int | None = None
@@ -517,6 +551,22 @@ class HistogramPDF:
         if point is not None and (other.edges[0] > 0.0 or other.edges[-1] < 0.0):
             return self.scale(1.0 / point)
         return self._combine(other, "div", bins)
+
+    def minimum(
+        self, other: "HistogramPDF | Number", bins: int | None = None
+    ) -> "HistogramPDF":
+        """Distribution of ``min(X, Y)`` for independent operands."""
+        if isinstance(other, (int, float)):
+            other = HistogramPDF.point(float(other))
+        return self._combine(other, "min", bins)
+
+    def maximum(
+        self, other: "HistogramPDF | Number", bins: int | None = None
+    ) -> "HistogramPDF":
+        """Distribution of ``max(X, Y)`` for independent operands."""
+        if isinstance(other, (int, float)):
+            other = HistogramPDF.point(float(other))
+        return self._combine(other, "max", bins)
 
     def __add__(self, other: "HistogramPDF | Number") -> "HistogramPDF":
         return self.add(other)

@@ -28,6 +28,12 @@ import numpy as np
 
 from repro.errors import DivisionByZeroIntervalError, IntervalError
 from repro.intervals.interval import Interval
+from repro.intervals.linearize import (
+    abs_linearization,
+    exp_linearization,
+    log_linearization,
+    sqrt_linearization,
+)
 
 __all__ = ["AffineContext", "AffineForm"]
 
@@ -336,6 +342,103 @@ class AffineForm:
             terms[self.context.fresh()] = delta
             result = AffineForm(result.center, terms, self.context)
         return result
+
+    def _with_fresh(self, form: "AffineForm", delta: float) -> "AffineForm":
+        """``form`` plus a fresh noise symbol of radius ``delta``."""
+        if delta == 0.0:
+            return form
+        terms = dict(form.terms)
+        terms[self.context.fresh()] = delta
+        return AffineForm(form.center, terms, self.context)
+
+    def _chebyshev(
+        self, alpha: float, zeta: float, delta: float, exact: Interval
+    ) -> "AffineForm":
+        """Apply ``alpha * x + zeta +/- delta``, capped by the exact image.
+
+        The min-max line keeps the operand's noise symbols (first-order
+        correlation), but over a wide enclosure its own range overshoots
+        the exact image of the function by up to ``2 * delta`` — enough
+        to push e.g. an ``exp`` enclosure below zero.  When that
+        happens, the exact image wrapped in a fresh symbol is the
+        tighter (and still sound) result.
+        """
+        candidate = self._with_fresh(self.scale(alpha).shift(zeta), delta)
+        return self._tightest_selection(candidate, exact)
+
+    def sqrt(self) -> "AffineForm":
+        """Square root via the shared Chebyshev linearization coefficients."""
+        interval = self.to_interval()
+        coeffs = sqrt_linearization(interval.lo, interval.hi)
+        if coeffs is None:
+            return AffineForm(math.sqrt(interval.lo), {}, self.context)
+        return self._chebyshev(*coeffs)
+
+    def exp(self) -> "AffineForm":
+        """Exponential via the shared Chebyshev linearization coefficients."""
+        interval = self.to_interval()
+        coeffs = exp_linearization(interval.lo, interval.hi)
+        if coeffs is None:
+            return AffineForm(math.exp(interval.lo), {}, self.context)
+        return self._chebyshev(*coeffs)
+
+    def log(self) -> "AffineForm":
+        """Natural logarithm via the shared Chebyshev linearization coefficients."""
+        interval = self.to_interval()
+        coeffs = log_linearization(interval.lo, interval.hi)
+        if coeffs is None:
+            return AffineForm(math.log(interval.lo), {}, self.context)
+        return self._chebyshev(*coeffs)
+
+    def __abs__(self) -> "AffineForm":
+        """Absolute value; exact when the enclosure's sign is fixed."""
+        interval = self.to_interval()
+        if interval.lo >= 0:
+            return AffineForm(self.center, dict(self.terms), self.context)
+        if interval.hi <= 0:
+            return -self
+        return self._chebyshev(*abs_linearization(interval.lo, interval.hi))
+
+    def _tightest_selection(self, candidate: "AffineForm", exact: Interval) -> "AffineForm":
+        """Pick the correlation-keeping ``candidate`` or an exact-image wrap.
+
+        The Chebyshev line (and the ``(x + y -+ |x - y|) / 2`` min/max
+        construction) keeps shared symbols, but over a wide enclosure its
+        own range can overshoot the exact image of the function — enough
+        to poison downstream domains (a clamped divisor's enclosure
+        dipping through zero).  When the formula is looser than the
+        exact image, fall back to wrapping the image in a fresh symbol:
+        range-tight, correlation-free.
+        """
+        enclosure = candidate.to_interval()
+        if enclosure.width <= exact.width:
+            return candidate
+        if exact.radius == 0.0:
+            return AffineForm(exact.midpoint, {}, self.context)
+        return AffineForm(
+            exact.midpoint, {self.context.fresh("sel"): exact.radius}, self.context
+        )
+
+    def minimum(self, other: "AffineForm | Number") -> "AffineForm":
+        """``min(x, y)`` through the identity ``(x + y - |x - y|) / 2``.
+
+        Shared noise symbols keep the correlation: when the sign of
+        ``x - y`` is decided by the enclosures, the result is exactly the
+        smaller operand.  If the blur of an undecided selection makes the
+        formula looser than the exact interval image, the image (wrapped
+        in a fresh symbol) is returned instead.
+        """
+        other = self._coerce(other)
+        candidate = (self + other - abs(self - other)).scale(0.5)
+        exact = self.to_interval().minimum(other.to_interval())
+        return self._tightest_selection(candidate, exact)
+
+    def maximum(self, other: "AffineForm | Number") -> "AffineForm":
+        """``max(x, y)`` through ``(x + y + |x - y|) / 2`` (see minimum)."""
+        other = self._coerce(other)
+        candidate = (self + other + abs(self - other)).scale(0.5)
+        exact = self.to_interval().maximum(other.to_interval())
+        return self._tightest_selection(candidate, exact)
 
     def __truediv__(self, other: "AffineForm | Number") -> "AffineForm":
         if isinstance(other, (int, float)):

@@ -19,7 +19,12 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Union
 
-from repro.errors import DivisionByZeroIntervalError, EmptyIntervalError, IntervalError
+from repro.errors import (
+    DivisionByZeroIntervalError,
+    DomainError,
+    EmptyIntervalError,
+    IntervalError,
+)
 
 __all__ = ["Interval", "RangeLike", "coerce_interval", "uniform_power"]
 
@@ -288,9 +293,14 @@ class Interval:
         return Interval(0.0, self.magnitude)
 
     def sqrt(self) -> "Interval":
-        """Square root; the interval must be non-negative."""
+        """Square root; the interval must be non-negative.
+
+        An interval crossing the domain boundary raises a
+        :class:`~repro.errors.DomainError` rather than letting NaN leak
+        into downstream enclosures.
+        """
         if self.lo < 0:
-            raise IntervalError(f"sqrt requires a non-negative interval, got {self}")
+            raise DomainError(f"sqrt requires a non-negative interval, got {self}")
         return Interval(math.sqrt(self.lo), math.sqrt(self.hi))
 
     def exp(self) -> "Interval":
@@ -298,10 +308,25 @@ class Interval:
         return Interval(math.exp(self.lo), math.exp(self.hi))
 
     def log(self) -> "Interval":
-        """Natural logarithm; the interval must be strictly positive."""
+        """Natural logarithm; the interval must be strictly positive.
+
+        An interval crossing the domain boundary raises a
+        :class:`~repro.errors.DomainError` rather than letting -inf/NaN
+        leak into downstream enclosures.
+        """
         if self.lo <= 0:
-            raise IntervalError(f"log requires a positive interval, got {self}")
+            raise DomainError(f"log requires a positive interval, got {self}")
         return Interval(math.log(self.lo), math.log(self.hi))
+
+    def minimum(self, other: "Interval | Number") -> "Interval":
+        """Exact image of elementwise ``min(x, y)`` over the two intervals."""
+        other = _as_interval(other)
+        return Interval._fast(min(self.lo, other.lo), min(self.hi, other.hi))
+
+    def maximum(self, other: "Interval | Number") -> "Interval":
+        """Exact image of elementwise ``max(x, y)`` over the two intervals."""
+        other = _as_interval(other)
+        return Interval._fast(max(self.lo, other.lo), max(self.hi, other.hi))
 
     def scale(self, factor: Number) -> "Interval":
         """Multiply by a scalar (slightly cheaper than building an interval)."""

@@ -1,0 +1,86 @@
+"""Shared Chebyshev (min-max) linearization coefficients.
+
+Each function takes the enclosure ``[a, b]`` of an operand and returns
+``(alpha, zeta, delta, exact)``: the affine approximation
+``f(x) ~ alpha * x + zeta`` is sound with deviation at most ``delta``
+over ``[a, b]``, and ``exact`` is the exact interval image of ``f``.
+For a concave ``f`` the secant deviation ``d(x) = f(x) - alpha * x`` is
+equal at both endpoints and maximal at the interior tangent point
+(``f'(u) = alpha``); for a convex ``f`` the roles swap.
+
+Both :class:`~repro.intervals.affine.AffineForm` (fresh noise symbol)
+and :class:`~repro.intervals.taylor.TaylorModel` (remainder interval)
+apply these identical coefficients, so a correction to the load-bearing
+math lands in exactly one place.  ``None`` is returned when the
+enclosure is a point (the caller short-circuits to the constant) and a
+:class:`~repro.errors.DomainError` is raised when ``[a, b]`` leaves the
+function's domain.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import DomainError
+from repro.intervals.interval import Interval
+
+__all__ = [
+    "Linearization",
+    "sqrt_linearization",
+    "exp_linearization",
+    "log_linearization",
+    "abs_linearization",
+]
+
+#: ``(alpha, zeta, delta, exact_image)``.
+Linearization = Tuple[float, float, float, Interval]
+
+
+def _pack(alpha: float, d_max: float, d_min: float, exact: Interval) -> Linearization:
+    return alpha, 0.5 * (d_max + d_min), 0.5 * (d_max - d_min), exact
+
+
+def sqrt_linearization(a: float, b: float) -> Linearization | None:
+    """sqrt is concave: secant slope ``1/(sqrt(a)+sqrt(b))``."""
+    if a < 0:
+        raise DomainError(f"sqrt requires a non-negative enclosure, got [{a}, {b}]")
+    if b <= a:
+        return None
+    alpha = 1.0 / (math.sqrt(a) + math.sqrt(b))
+    d_max = 1.0 / (4.0 * alpha)  # interior tangent point
+    d_min = math.sqrt(a) - alpha * a  # both endpoints
+    return _pack(alpha, d_max, d_min, Interval(math.sqrt(a), math.sqrt(b)))
+
+
+def exp_linearization(a: float, b: float) -> Linearization | None:
+    """exp is convex: endpoints are the maximum deviation."""
+    if b <= a:
+        return None
+    alpha = (math.exp(b) - math.exp(a)) / (b - a)
+    d_max = math.exp(a) - alpha * a  # both endpoints
+    d_min = alpha * (1.0 - math.log(alpha))  # interior tangent point
+    return _pack(alpha, d_max, d_min, Interval(math.exp(a), math.exp(b)))
+
+
+def log_linearization(a: float, b: float) -> Linearization | None:
+    """log is concave over its strictly positive domain."""
+    if a <= 0:
+        raise DomainError(f"log requires a positive enclosure, got [{a}, {b}]")
+    if b <= a:
+        return None
+    alpha = (math.log(b) - math.log(a)) / (b - a)
+    d_max = -math.log(alpha) - 1.0  # interior tangent point
+    d_min = math.log(a) - alpha * a  # both endpoints
+    return _pack(alpha, d_max, d_min, Interval(math.log(a), math.log(b)))
+
+
+def abs_linearization(a: float, b: float) -> Linearization:
+    """abs over a sign-crossing ``[a, b]`` (``a < 0 < b``).
+
+    The secant slope ``(a + b)/(b - a)`` has deviation 0 at the kink and
+    the equal value ``-a * (1 + alpha)`` at both endpoints.
+    """
+    alpha = (a + b) / (b - a)
+    d_max = -a * (1.0 + alpha)
+    return _pack(alpha, d_max, 0.0, Interval(0.0, max(-a, b)))

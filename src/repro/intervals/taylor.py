@@ -22,6 +22,12 @@ from typing import Dict, Mapping, Tuple, Union
 
 from repro.errors import DivisionByZeroIntervalError, IntervalError
 from repro.intervals.interval import Interval
+from repro.intervals.linearize import (
+    abs_linearization,
+    exp_linearization,
+    log_linearization,
+    sqrt_linearization,
+)
 
 __all__ = ["TaylorModel"]
 
@@ -292,6 +298,85 @@ class TaylorModel:
             scaled.quadratic,
             scaled.remainder + Interval(-delta, delta),
         )
+
+    def _chebyshev(
+        self, alpha: float, zeta: float, delta: float, exact: Interval
+    ) -> "TaylorModel":
+        """Apply ``alpha * self + zeta +/- delta``, capped by the exact image.
+
+        As in :meth:`AffineForm._chebyshev`: over a wide bound the
+        min-max line's own range overshoots the exact function image, so
+        when it is looser the exact image (as a pure remainder model) is
+        returned instead.
+        """
+        scaled = self.scale(alpha)
+        remainder = scaled.remainder
+        if delta != 0.0:
+            remainder = remainder + Interval(-delta, delta)
+        candidate = TaylorModel(
+            scaled.constant + zeta, scaled.linear, scaled.quadratic, remainder
+        )
+        return self._tightest_selection(candidate, exact)
+
+    def sqrt(self) -> "TaylorModel":
+        """Square root via the shared Chebyshev linearization coefficients."""
+        interval = self.bound()
+        coeffs = sqrt_linearization(interval.lo, interval.hi)
+        if coeffs is None:
+            return TaylorModel.constant_model(math.sqrt(interval.lo))
+        return self._chebyshev(*coeffs)
+
+    def exp(self) -> "TaylorModel":
+        """Exponential via the shared Chebyshev linearization coefficients."""
+        interval = self.bound()
+        coeffs = exp_linearization(interval.lo, interval.hi)
+        if coeffs is None:
+            return TaylorModel.constant_model(math.exp(interval.lo))
+        return self._chebyshev(*coeffs)
+
+    def log(self) -> "TaylorModel":
+        """Natural logarithm via the shared Chebyshev linearization coefficients."""
+        interval = self.bound()
+        coeffs = log_linearization(interval.lo, interval.hi)
+        if coeffs is None:
+            return TaylorModel.constant_model(math.log(interval.lo))
+        return self._chebyshev(*coeffs)
+
+    def __abs__(self) -> "TaylorModel":
+        """Absolute value; exact when the bound's sign is fixed."""
+        interval = self.bound()
+        if interval.lo >= 0:
+            return TaylorModel(self.constant, self.linear, self.quadratic, self.remainder)
+        if interval.hi <= 0:
+            return -self
+        return self._chebyshev(*abs_linearization(interval.lo, interval.hi))
+
+    def _tightest_selection(self, candidate: "TaylorModel", exact: Interval) -> "TaylorModel":
+        """The correlation-keeping ``candidate``, or the exact image when tighter.
+
+        Mirrors :meth:`AffineForm.minimum`: an undecided selection's
+        secant blur must not enclose more than the exact interval image
+        of min/max, or downstream domains (clamped divisors) break.
+        """
+        if candidate.bound().width <= exact.width:
+            return candidate
+        return TaylorModel(
+            exact.midpoint, remainder=Interval(-exact.radius, exact.radius)
+        )
+
+    def minimum(self, other: "TaylorModel | Number") -> "TaylorModel":
+        """``min(x, y)`` through ``(x + y - |x - y|) / 2`` (shared symbols)."""
+        other = self._coerce(other)
+        candidate = (self + other - abs(self - other)).scale(0.5)
+        exact = self.bound().minimum(other.bound())
+        return self._tightest_selection(candidate, exact)
+
+    def maximum(self, other: "TaylorModel | Number") -> "TaylorModel":
+        """``max(x, y)`` through ``(x + y + |x - y|) / 2`` (shared symbols)."""
+        other = self._coerce(other)
+        candidate = (self + other + abs(self - other)).scale(0.5)
+        exact = self.bound().maximum(other.bound())
+        return self._tightest_selection(candidate, exact)
 
     def __truediv__(self, other: "TaylorModel | Number") -> "TaylorModel":
         if isinstance(other, (int, float)):

@@ -17,6 +17,22 @@ sound enclosure algebra yields sound error bounds:
   Taylor) keep the result O(e) instead of leaving an O(1) residual from
   two independently-approximated divisions
 * ``neg``:     ``e = -e_a``
+* ``sqrt``:    ``e = e_a / (sqrt(a + e_a) + sqrt(a)) (+ q)`` — the exact
+  rationalized expansion of ``sqrt(a + e_a) - sqrt(a)``, again linear in
+  the error
+* ``exp``:     ``e = exp(a) (exp(e_a) - 1) (+ q)``
+* ``log``:     ``e = log(1 + e_a / a) (+ q)``
+* ``abs``:     ``e = e_a`` / ``-e_a`` when the operand's sign (with its
+  error) is decided by the enclosures; otherwise the reverse triangle
+  inequality ``| |a+e| - |a| | <= |e|`` bounds the error symmetrically
+* ``min/max``: ``e = e_b`` / ``e_a`` when the enclosures decide which
+  operand is selected in both the exact and the quantized datapath;
+  otherwise the identity ``min(x,y) = (x + y - |x - y|)/2`` is used with
+  the abs bound above, which stays O(e)
+* ``mux``:     the selected branch's error when the select's sign (with
+  its error) is decided; otherwise the hull over both branch errors plus
+  — when the select error can flip the comparison — the branch-swap
+  residuals ``(b + e_b) - a`` and ``(a + e_a) - b``
 
 where ``q`` is the node's own quantization error (a
 :class:`~repro.noisemodel.sources.QuantizationSource`) when the node
@@ -48,7 +64,7 @@ from repro.dfg.graph import DFG
 from repro.dfg.node import OpType
 from repro.dfg.unroll import UnrolledGraph, unroll_sequential
 from repro.dfg.unroll import base_name as _base_name
-from repro.errors import NoiseModelError
+from repro.errors import DomainError, NoiseModelError
 from repro.histogram.pdf import HistogramPDF
 from repro.histogram.statistics import summarize
 from repro.intervals.affine import AffineContext, AffineForm
@@ -185,6 +201,10 @@ class DatapathNoiseAnalyzer:
         # they are bound to a propagation's AffineContext and are cheap
         # to build anyway.
         self._error_term_cache: Dict[Tuple[str, str, Any], Any] = {}
+        # SNA selection probabilities (min/max/mux) depend only on the
+        # value distributions, never on the assignment: one per node.
+        self._select_prob_cache: Dict[str, float] = {}
+        self._ancestor_cache: Dict[str, frozenset] = {}
 
     def working_formats(self, assignment: WordLengthAssignment) -> Dict[str, Any]:
         """Per-instance formats of ``assignment`` on the working graph.
@@ -283,16 +303,43 @@ class DatapathNoiseAnalyzer:
     # the propagation sweep
     # ------------------------------------------------------------------ #
     def _propagate(
-        self, method: str
+        self, method: str, target: str | None = None
     ) -> tuple[Dict[str, Any], Dict[str, Any], AffineContext | None]:
+        """One full sweep: values for every node, errors for the target's cone.
+
+        Restricting the error propagation to the ancestor closure of
+        ``target`` changes nothing about the reported result (errors of
+        non-ancestors cannot reach the output) but keeps the semantics
+        identical to the incremental engine: a domain violation at a
+        node that cannot influence the analyzed output does not abort
+        the analysis.
+        """
         context = AffineContext() if method == "aa" else None
         values: Dict[str, Any] = {}
         errors: Dict[str, Any] = {}
+        restrict = None if target is None else self._ancestor_closure(target)
         for name in self.topo_order:
             node = self.graph.node(name)
             values[name] = self._value_of(method, name, node, values, context)
-            errors[name] = self._error_of(method, name, node, values, errors, context)
+            if restrict is None or name in restrict:
+                errors[name] = self._error_of(method, name, node, values, errors, context)
         return values, errors, context
+
+    def _ancestor_closure(self, target: str) -> frozenset:
+        """Nodes that can reach ``target`` (itself included), cached."""
+        cached = self._ancestor_cache.get(target)
+        if cached is not None:
+            return cached
+        seen = {target}
+        stack = [target]
+        while stack:
+            for operand in self.graph.node(stack.pop()).inputs:
+                if operand not in seen:
+                    seen.add(operand)
+                    stack.append(operand)
+        closure = frozenset(seen)
+        self._ancestor_cache[target] = closure
+        return closure
 
     def _value_of(
         self,
@@ -302,7 +349,27 @@ class DatapathNoiseAnalyzer:
         values: Mapping[str, Any],
         context: AffineContext | None,
     ) -> Any:
-        """Infinite-precision enclosure of one node (assignment-independent)."""
+        """Infinite-precision enclosure of one node (assignment-independent).
+
+        Domain violations (``sqrt``/``log`` of an enclosure crossing the
+        domain boundary) surface as a :class:`~repro.errors.DomainError`
+        naming the offending node rather than NaN/inf enclosures.
+        """
+        try:
+            return self._value_rule(method, name, node, values, context)
+        except DomainError as exc:
+            if exc.node is not None:
+                raise
+            raise DomainError(f"node {name!r} ({node.op.value}): {exc}", node=name) from exc
+
+    def _value_rule(
+        self,
+        method: str,
+        name: str,
+        node: Any,
+        values: Mapping[str, Any],
+        context: AffineContext | None,
+    ) -> Any:
         if node.op is OpType.INPUT:
             return self._make_value(method, name, context)
         if node.op is OpType.CONST:
@@ -313,6 +380,14 @@ class DatapathNoiseAnalyzer:
             return -values[node.inputs[0]]
         if node.op is OpType.SQUARE:
             return _square(values[node.inputs[0]])
+        if node.op is OpType.SQRT:
+            return values[node.inputs[0]].sqrt()
+        if node.op is OpType.EXP:
+            return values[node.inputs[0]].exp()
+        if node.op is OpType.LOG:
+            return values[node.inputs[0]].log()
+        if node.op is OpType.ABS:
+            return abs(values[node.inputs[0]])
         if node.op is OpType.ADD:
             return values[node.inputs[0]] + values[node.inputs[1]]
         if node.op is OpType.SUB:
@@ -321,8 +396,61 @@ class DatapathNoiseAnalyzer:
             return values[node.inputs[0]] * values[node.inputs[1]]
         if node.op is OpType.DIV:
             return values[node.inputs[0]] / values[node.inputs[1]]
-        # pragma: no cover - DELAY cannot appear after unrolling
-        raise NoiseModelError(f"unexpected operation {node.op!r} in noise propagation")
+        if node.op in (OpType.MIN, OpType.MAX):
+            a, b = node.inputs
+            if a == b:  # min(x, x) == max(x, x) == x, exactly
+                return values[a]
+            if node.op is OpType.MIN:
+                return values[a].minimum(values[b])
+            return values[a].maximum(values[b])
+        if node.op is OpType.MUX:
+            s, a, b = node.inputs
+            if a == b:  # both branches are the same signal
+                return values[a]
+            return self._mux_value(method, name, values[s], values[a], values[b], context)
+        # DELAY cannot appear after unrolling
+        raise NoiseModelError(
+            f"unsupported operation {node.op!r} at node {name!r} in noise propagation; "
+            f"the {method} analyzer knows no value rule for it"
+        )
+
+    def _mux_value(
+        self,
+        method: str,
+        name: str,
+        vs: Any,
+        va: Any,
+        vb: Any,
+        context: AffineContext | None,
+    ) -> Any:
+        """Value enclosure of ``select >= 0 ? a : b`` per algebra.
+
+        A sign-decided select collapses to the chosen branch.  Otherwise
+        IA takes the hull, AA/Taylor model the selection as
+        ``(a+b)/2 + (a-b)/2 * eps`` with a fresh ``[-1, 1]`` blend symbol
+        (keeping partial correlation with both branches), and SNA blends
+        the branch distributions with the select's sign probability.
+        """
+        selector = _enclosure_of(vs)
+        if selector.lo >= 0.0:
+            return va
+        if selector.hi < 0.0:
+            return vb
+        if method == "ia":
+            return va.hull(vb)
+        if method == "aa":
+            assert context is not None
+            blend = AffineForm(0.0, {context.fresh("sel"): 1.0}, context)
+            return (va + vb).scale(0.5) + (va - vb).scale(0.5) * blend
+        if method == "taylor":
+            blend = TaylorModel(0.0, {f"sel_{name}": 1.0})
+            return (va + vb).scale(0.5) + (va - vb).scale(0.5) * blend
+        p = 1.0 - vs.cdf(0.0)
+        if p >= 1.0:
+            return va
+        if p <= 0.0:
+            return vb
+        return HistogramPDF.mixture([(va, p), (vb, 1.0 - p)], bins=self.bins)
 
     def _error_of(
         self,
@@ -339,7 +467,24 @@ class DatapathNoiseAnalyzer:
         (:class:`repro.analysis.incremental.IncrementalAnalyzer`), which
         re-invokes it only for nodes inside the cone of influence of a
         word-length change; both paths therefore produce the same floats.
+        Domain violations name the offending node, like :meth:`_value_of`.
         """
+        try:
+            return self._error_rule(method, name, node, values, errors, context)
+        except DomainError as exc:
+            if exc.node is not None:
+                raise
+            raise DomainError(f"node {name!r} ({node.op.value}): {exc}", node=name) from exc
+
+    def _error_rule(
+        self,
+        method: str,
+        name: str,
+        node: Any,
+        values: Mapping[str, Any],
+        errors: Mapping[str, Any],
+        context: AffineContext | None,
+    ) -> Any:
         source = self._sources_by_node.get(name)
         own = self._make_error_term(method, source, context) if source else None
         if node.op in (OpType.INPUT, OpType.CONST):
@@ -394,8 +539,230 @@ class DatapathNoiseAnalyzer:
                 numerator = _add_error(numerator, -(exact * eb))
             denominator = vb if _is_zero(eb) else vb + eb
             return _add_error(numerator / denominator, own)
-        # pragma: no cover - DELAY cannot appear after unrolling
-        raise NoiseModelError(f"unexpected operation {node.op!r} in noise propagation")
+        if node.op is OpType.SQRT:
+            a = node.inputs[0]
+            va, ea = values[a], errors[a]
+            if _is_zero(ea):
+                return _add_error(0.0, own)
+            # sqrt(a+e) - sqrt(a) == e / (sqrt(a+e) + sqrt(a)): exact and
+            # linear in the error, so AA/Taylor keep it O(e); sqrt(a) is
+            # the node's own (already propagated) value enclosure.
+            denominator = (va + ea).sqrt() + values[name]
+            return _add_error(ea / denominator, own)
+        if node.op is OpType.EXP:
+            a = node.inputs[0]
+            ea = errors[a]
+            if _is_zero(ea):
+                return _add_error(0.0, own)
+            # exp(a+e) - exp(a) == exp(a) * (exp(e) - 1); exp(a) is the
+            # node's own (already propagated) value enclosure.
+            return _add_error(values[name] * (ea.exp() - 1.0), own)
+        if node.op is OpType.LOG:
+            a = node.inputs[0]
+            va, ea = values[a], errors[a]
+            if _is_zero(ea):
+                return _add_error(0.0, own)
+            # log(a+e) - log(a) == log(1 + e/a)
+            return _add_error((ea / va + 1.0).log(), own)
+        if node.op is OpType.ABS:
+            a = node.inputs[0]
+            va, ea = values[a], errors[a]
+            if _is_zero(ea):
+                return _add_error(0.0, own)
+            operand = _enclosure_of(va)
+            err_enc = _enclosure_of(ea)
+            if operand.lo >= 0.0 and operand.lo + err_enc.lo >= 0.0:
+                return _add_error(ea, own)
+            if operand.hi <= 0.0 and operand.hi + err_enc.hi <= 0.0:
+                return _add_error(-ea, own)
+            return _add_error(self._sign_blur(method, va, ea, context), own)
+        if node.op in (OpType.MIN, OpType.MAX):
+            a, b = node.inputs
+            if a == b:  # min(x, x) == max(x, x) == x: error forwards exactly
+                return _add_error(errors[a], own)
+            va, vb = values[a], values[b]
+            ea, eb = errors[a], errors[b]
+            if _is_zero(ea) and _is_zero(eb):
+                return _add_error(0.0, own)
+            diff = _enclosure_of(va) - _enclosure_of(vb)
+            err_diff = _enclosure_of(ea) - _enclosure_of(eb)
+            diff_q = diff + err_diff
+            if diff.lo >= 0.0 and diff_q.lo >= 0.0:
+                # a >= b in both datapaths: min forwards b, max forwards a.
+                chosen = eb if node.op is OpType.MIN else ea
+                return _add_error(chosen, own)
+            if diff.hi <= 0.0 and diff_q.hi <= 0.0:
+                chosen = ea if node.op is OpType.MIN else eb
+                return _add_error(chosen, own)
+            return _add_error(
+                self._select_blend(method, name, node.op, va, vb, ea, eb, err_diff, context),
+                own,
+            )
+        if node.op is OpType.MUX:
+            s, a, b = node.inputs
+            if a == b:  # both branches carry the same signal and error
+                return _add_error(errors[a], own)
+            vs = values[s]
+            va, vb = values[a], values[b]
+            es, ea, eb = errors[s], errors[a], errors[b]
+            selector = _enclosure_of(vs)
+            sel_err = _enclosure_of(es)
+            selector_q = selector + sel_err
+            if selector.lo >= 0.0 and selector_q.lo >= 0.0:
+                return _add_error(ea, own)
+            if selector.hi < 0.0 and selector_q.hi < 0.0:
+                return _add_error(eb, own)
+            return _add_error(
+                self._mux_blend(method, vs, va, vb, sel_err, ea, eb, context), own
+            )
+        # DELAY cannot appear after unrolling
+        raise NoiseModelError(
+            f"unsupported operation {node.op!r} at node {name!r} in noise propagation; "
+            f"the {method} analyzer knows no error rule for it"
+        )
+
+    # ------------------------------------------------------------------ #
+    # data-dependent selection helpers (abs / min / max / mux)
+    # ------------------------------------------------------------------ #
+    def _sign_blur(
+        self, method: str, va: Any, ea: Any, context: AffineContext | None
+    ) -> Any:
+        """Error of ``|a + e| - |a|`` when the operand's sign is undecided.
+
+        The reverse triangle inequality bounds it by ``|e|``; SNA reads
+        it as the sign-probability mixture of ``e`` and ``-e`` (the exact
+        error away from the kink), whose support is the same bound.
+        """
+        if method == "sna":
+            positive = 1.0 - va.cdf(0.0)
+            ea = _as_pdf(ea)
+            if positive >= 1.0:
+                return ea
+            if positive <= 0.0:
+                return -ea
+            return HistogramPDF.mixture([(ea, positive), (-ea, 1.0 - positive)], bins=self.bins)
+        magnitude = _enclosure_of(ea).magnitude
+        if method == "ia":
+            return Interval(-magnitude, magnitude)
+        if method == "aa":
+            assert context is not None
+            return AffineForm(0.0, {context.fresh("abs"): magnitude}, context)
+        return TaylorModel(0.0, remainder=Interval(-magnitude, magnitude))
+
+    def _select_blend(
+        self,
+        method: str,
+        name: str,
+        op: OpType,
+        va: Any,
+        vb: Any,
+        ea: Any,
+        eb: Any,
+        err_diff: Interval,
+        context: AffineContext | None,
+    ) -> Any:
+        """Error of ``min``/``max`` when the winning operand is undecided.
+
+        Via ``min(x,y) = (x+y-|x-y|)/2`` the error is
+        ``(e_a + e_b -+ D)/2`` with ``|D| <= |e_a - e_b|`` (reverse
+        triangle inequality on the shared ``|x - y|`` term); the
+        symmetric ``D`` enclosure serves min and max alike.  SNA blends
+        the operand error distributions with the selection probability
+        ``P(a < b)`` instead — the error is exactly one operand's error
+        whenever the selection is strict, and the mixture support equals
+        the hull bound.
+        """
+        if method == "sna":
+            p_smaller = self._selection_probability(name, va, vb)
+            weight_a = p_smaller if op is OpType.MIN else 1.0 - p_smaller
+            parts = [(_as_pdf(ea), weight_a), (_as_pdf(eb), 1.0 - weight_a)]
+            if weight_a >= 1.0:
+                return parts[0][0]
+            if weight_a <= 0.0:
+                return parts[1][0]
+            return HistogramPDF.mixture(parts, bins=self.bins)
+        magnitude = err_diff.magnitude
+        if method == "ia":
+            spread: Any = Interval(-magnitude, magnitude)
+        elif method == "aa":
+            assert context is not None
+            spread = AffineForm(0.0, {context.fresh("sel"): magnitude}, context)
+        else:
+            spread = TaylorModel(0.0, remainder=Interval(-magnitude, magnitude))
+        total = self._sum_errors(method, [ea, eb, spread], context)
+        if isinstance(total, float):
+            return 0.5 * total
+        return total.scale(0.5)
+
+    def _selection_probability(self, name: str, va: Any, vb: Any) -> float:
+        """``P(a < b)`` under the SNA value distributions (cached per node).
+
+        Value enclosures never depend on the word-length assignment, so
+        the probability is computed once per node and reused by every
+        (incremental) re-analysis.
+        """
+        cached = self._select_prob_cache.get(name)
+        if cached is None:
+            diff = _as_pdf(va).sub(_as_pdf(vb), bins=self.bins)
+            cached = diff.cdf(0.0)
+            self._select_prob_cache[name] = cached
+        return cached
+
+    def _mux_blend(
+        self,
+        method: str,
+        vs: Any,
+        va: Any,
+        vb: Any,
+        sel_err: Interval,
+        ea: Any,
+        eb: Any,
+        context: AffineContext | None,
+    ) -> Any:
+        """Mux error when the select's sign is undecided.
+
+        Both branch errors are possible; when the select's own error can
+        flip the comparison (nonzero ``sel_err``), the exact and the
+        quantized datapath can take *different* branches near the
+        threshold, leaving the branch-swap residuals ``(b + e_b) - a``
+        and ``(a + e_a) - b`` in the output.  SNA weighs the branch
+        errors by the select-sign probability and gives the swap
+        residuals the probability that ``|s|`` falls inside the select
+        error band.
+        """
+        enc_a, enc_b = _enclosure_of(va), _enclosure_of(vb)
+        err_a, err_b = _enclosure_of(ea), _enclosure_of(eb)
+        can_flip = sel_err.lo != 0.0 or sel_err.hi != 0.0
+        if method == "sna":
+            p_a = 1.0 - vs.cdf(0.0)
+            p_flip = 0.0
+            if can_flip:
+                m = sel_err.magnitude
+                p_flip = vs.probability_of(Interval(-m, m))
+            parts = [
+                (_as_pdf(ea), p_a * (1.0 - p_flip)),
+                (_as_pdf(eb), (1.0 - p_a) * (1.0 - p_flip)),
+            ]
+            if p_flip > 0.0:
+                swap_ab = _as_pdf(vb).add(_as_pdf(eb)).sub(_as_pdf(va), bins=self.bins)
+                swap_ba = _as_pdf(va).add(_as_pdf(ea)).sub(_as_pdf(vb), bins=self.bins)
+                parts.append((swap_ab, 0.5 * p_flip))
+                parts.append((swap_ba, 0.5 * p_flip))
+            return HistogramPDF.mixture(parts, bins=self.bins)
+        members = [err_a, err_b]
+        if can_flip:
+            members.append((enc_b + err_b) - enc_a)
+            members.append((enc_a + err_a) - enc_b)
+        hull = Interval.hull_of(members)
+        if method == "ia":
+            return hull
+        if method == "aa":
+            assert context is not None
+            terms = {context.fresh("mux"): hull.radius} if hull.radius != 0.0 else {}
+            return AffineForm(hull.midpoint, terms, context)
+        return TaylorModel(
+            hull.midpoint, remainder=Interval(-hull.radius, hull.radius)
+        )
 
     def _sum_errors(self, method: str, terms: List[Any], context: AffineContext | None) -> Any:
         """Left-fold sum of error terms, skipping exact zeros and ``None``.
@@ -438,7 +805,7 @@ class DatapathNoiseAnalyzer:
                 f"unknown analysis method {method!r}; choose from {ANALYSIS_METHODS}"
             )
         target = self._resolve_output(output)
-        values, errors, _context = self._propagate(method)
+        values, errors, _context = self._propagate(method, target)
         error = errors[target]
         builder = getattr(self, f"_report_{method}")
         return builder(target, error, values, contributions)
@@ -614,6 +981,28 @@ class DatapathNoiseAnalyzer:
 
 def _is_zero(value: Any) -> bool:
     return isinstance(value, float) and value == 0.0
+
+
+def _enclosure_of(value: Any) -> Interval:
+    """Sound interval enclosure of a propagated value/error in any algebra."""
+    if isinstance(value, Interval):
+        return value
+    if isinstance(value, (int, float)):
+        return Interval.point(float(value))
+    if isinstance(value, AffineForm):
+        return value.to_interval()
+    if isinstance(value, TaylorModel):
+        return value.bound()
+    if isinstance(value, HistogramPDF):
+        return value.support
+    raise NoiseModelError(f"cannot enclose a value of type {type(value).__name__}")
+
+
+def _as_pdf(value: Any) -> HistogramPDF:
+    """Coerce a propagated SNA term (or exact-zero float) to a histogram."""
+    if isinstance(value, HistogramPDF):
+        return value
+    return HistogramPDF.point(float(value))
 
 
 def _square(value: Any) -> Any:

@@ -130,6 +130,56 @@ def transfer_gains(
         elif node.op is OpType.SQUARE:
             (a,) = node.inputs
             gains[a] = gains[a] + gain * range_of(a).scale(2.0)
+        elif node.op is OpType.SQRT:
+            (a,) = node.inputs
+            # d sqrt / dx = 1 / (2 sqrt(x)); at the domain edge x = 0 the
+            # derivative is unbounded, so the adjoint is clamped at a
+            # millionth of the range — the gains are a ranking heuristic
+            # and a contributions display, and the error rules themselves
+            # never divide by zero here (sqrt's error expansion is
+            # bounded by sqrt(|e|)).
+            denom = range_of(a).sqrt().scale(2.0)
+            if denom.lo <= 0.0:
+                hi = max(denom.hi, 1e-12)
+                denom = Interval(max(1e-6 * hi, 1e-12), hi)
+            gains[a] = gains[a] + gain / denom
+        elif node.op is OpType.EXP:
+            (a,) = node.inputs
+            # d exp / dx = exp(x) — the node's own value range.
+            gains[a] = gains[a] + gain * range_of(name)
+        elif node.op is OpType.LOG:
+            (a,) = node.inputs
+            gains[a] = gains[a] + gain / range_of(a)
+        elif node.op is OpType.ABS:
+            (a,) = node.inputs
+            operand = range_of(a)
+            if operand.lo >= 0.0:
+                gains[a] = gains[a] + gain
+            elif operand.hi <= 0.0:
+                gains[a] = gains[a] - gain
+            else:
+                gains[a] = gains[a] + gain * Interval(-1.0, 1.0)
+        elif node.op in (OpType.MIN, OpType.MAX):
+            # Each operand's subgradient lies in [0, 1] (one of them is
+            # selected, possibly switching inside the range).
+            a, b = node.inputs
+            share = gain * Interval(0.0, 1.0)
+            gains[a] = gains[a] + share
+            gains[b] = gains[b] + share
+        elif node.op is OpType.MUX:
+            # The select has zero derivative almost everywhere; the data
+            # operands see the full gain when the branch is decided by
+            # the select's range, a [0, 1] share otherwise.
+            s, a, b = node.inputs
+            selector = range_of(s)
+            if selector.lo >= 0.0:
+                gains[a] = gains[a] + gain
+            elif selector.hi < 0.0:
+                gains[b] = gains[b] + gain
+            else:
+                share = gain * Interval(0.0, 1.0)
+                gains[a] = gains[a] + share
+                gains[b] = gains[b] + share
         else:  # pragma: no cover - defensive; OP_ARITY keeps this unreachable
             raise DFGError(f"unsupported operation {node.op!r} in gain analysis")
 

@@ -62,7 +62,13 @@ class CostTable:
     add_per_bit: float = 1.0  # full adder cell, per result bit
     mul_per_bit_pair: float = 0.55  # partial-product cell, per Wa*Wb
     div_per_bit_pair: float = 2.2  # restoring-divider cell, per Wa*Wb
+    sqrt_per_bit_pair: float = 1.2  # digit-recurrence root cell, per W*(W+1)/2
+    exp_per_bit_pair: float = 0.9  # table + interpolation multiplier, per W^2
+    log_per_bit_pair: float = 0.9  # table + interpolation multiplier, per W^2
     neg_per_bit: float = 0.45  # two's-complement negate, per bit
+    abs_per_bit: float = 0.5  # conditional negate (sign mux + adder), per bit
+    minmax_per_bit: float = 1.1  # comparator + 2:1 select, per bit
+    mux_per_bit: float = 0.5  # sign-predicated 2:1 select, per data bit
     register_per_bit: float = 0.6  # flip-flop, per stored bit
     const_per_bit: float = 0.12  # ROM / hardwired constant, per bit
     result_per_bit: float = 0.3  # rounding logic + output drivers, per result bit
@@ -112,7 +118,13 @@ ASIC_COST_TABLE = CostTable(
     add_per_bit=9.0,
     mul_per_bit_pair=6.0,
     div_per_bit_pair=24.0,
+    sqrt_per_bit_pair=13.0,
+    exp_per_bit_pair=9.5,
+    log_per_bit_pair=9.5,
     neg_per_bit=4.5,
+    abs_per_bit=5.0,
+    minmax_per_bit=10.0,
+    mux_per_bit=4.0,
     register_per_bit=8.0,
     const_per_bit=0.5,
     result_per_bit=2.5,
@@ -204,6 +216,8 @@ class HardwareCostModel:
             return rounding + table.add_per_bit * max(widths)
         if node.op is OpType.NEG:
             return rounding + table.neg_per_bit * widths[0]
+        if node.op is OpType.ABS:
+            return rounding + table.abs_per_bit * widths[0]
         if node.op is OpType.MUL:
             return rounding + table.mul_per_bit_pair * widths[0] * widths[1]
         if node.op is OpType.SQUARE:
@@ -211,6 +225,21 @@ class HardwareCostModel:
             return rounding + table.mul_per_bit_pair * (w * (w + 1)) / 2.0
         if node.op is OpType.DIV:
             return rounding + table.div_per_bit_pair * widths[0] * widths[1]
+        if node.op is OpType.SQRT:
+            w = widths[0]
+            return rounding + table.sqrt_per_bit_pair * (w * (w + 1)) / 2.0
+        if node.op is OpType.EXP:
+            w = widths[0]
+            return rounding + table.exp_per_bit_pair * w * w
+        if node.op is OpType.LOG:
+            w = widths[0]
+            return rounding + table.log_per_bit_pair * w * w
+        if node.op in (OpType.MIN, OpType.MAX):
+            return rounding + table.minmax_per_bit * max(widths)
+        if node.op is OpType.MUX:
+            # The select contributes only its sign bit; the datapath pays
+            # per bit of the wider forwarded operand.
+            return rounding + table.mux_per_bit * max(widths[1], widths[2])
         raise OptimizationError(f"cannot price operation {node.op!r}")  # pragma: no cover
 
     def price(self, graph: DFG, assignment: WordLengthAssignment) -> CostBreakdown:

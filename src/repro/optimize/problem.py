@@ -26,7 +26,7 @@ from repro.dfg.node import OpType
 from repro.dfg.range_analysis import infer_ranges
 from repro.dfg.unroll import base_name as _base_name
 from repro.dfg.unroll import unroll_sequential
-from repro.errors import OptimizationError
+from repro.errors import DivisionByZeroIntervalError, DomainError, OptimizationError
 from repro.intervals.interval import Interval, RangeLike, coerce_interval, uniform_power
 from repro.noisemodel.analyzer import ANALYSIS_METHODS, DatapathNoiseAnalyzer
 from repro.noisemodel.assignment import WordLengthAssignment, ensure_range_coverage
@@ -270,12 +270,25 @@ class OptimizationProblem:
     def _snr_db(self, noise_power: float) -> float:
         if noise_power <= 0.0:
             return float("inf")
-        if self.signal_power <= 0.0:
+        if math.isinf(noise_power) or self.signal_power <= 0.0:
             return float("-inf")
         return 10.0 * math.log10(self.signal_power / noise_power)
 
     def _analyze(self, assignment: WordLengthAssignment) -> float:
-        """Output noise power of one candidate (incremental when enabled)."""
+        """Output noise power of one candidate (incremental when enabled).
+
+        A candidate whose errors grow past a nonlinear operator's domain
+        premise (``sqrt``/``log`` enclosures crossing their boundary, a
+        divisor enclosure swallowing zero) cannot be analyzed soundly;
+        it is reported as infinite noise power — i.e. infeasible — so
+        the search simply backs away from it instead of crashing.
+        """
+        try:
+            return self._analyze_unchecked(assignment)
+        except (DomainError, DivisionByZeroIntervalError):
+            return float("inf")
+
+    def _analyze_unchecked(self, assignment: WordLengthAssignment) -> float:
         if not self.use_incremental:
             analyzer = DatapathNoiseAnalyzer(
                 self.graph,

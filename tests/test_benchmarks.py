@@ -21,6 +21,11 @@ class TestCircuitLibrary:
             "iir_biquad",
             "fft_butterfly",
             "matmul2",
+            "newton_inverse",
+            "rms_normalize",
+            "sigmoid_neuron",
+            "log_energy",
+            "complex_magnitude",
         }
 
     @pytest.mark.parametrize("name", sorted(CIRCUITS))

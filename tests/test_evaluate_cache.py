@@ -110,3 +110,31 @@ class TestEvaluatorEquivalence:
         )
         assert first.cost == pytest.approx(second.cost)
         assert first.assignment.key() == second.assignment.key()
+
+    @pytest.mark.parametrize("method", ["ia", "sna"])
+    def test_evaluator_paths_agree_on_generated_graphs(self, method, random_circuit_factory):
+        """Optimizer equivalence fuzzed over generated circuits.
+
+        Generated graphs exercise the nonlinear operator rules (and the
+        domain-error-means-infeasible handling) through the memoized
+        incremental evaluator and the from-scratch one alike.
+        """
+        for seed in (2001, 2002, 2003):
+            circuit = random_circuit_factory(seed)
+            results = {}
+            for use_incremental in (True, False):
+                problem = OptimizationProblem.from_circuit(
+                    circuit,
+                    FLOOR,
+                    method=method,
+                    horizon=4,
+                    bins=8,
+                    margin_db=1.0,
+                    use_incremental=use_incremental,
+                )
+                results[use_incremental] = get_optimizer("greedy").optimize(problem)
+            incremental, legacy = results[True], results[False]
+            assert incremental.feasible == legacy.feasible
+            if incremental.feasible:
+                assert incremental.cost == legacy.cost
+                assert incremental.assignment.key() == legacy.assignment.key()

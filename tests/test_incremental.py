@@ -180,6 +180,44 @@ def test_diff_detects_removed_keys_at_equal_size():
     assert IncrementalAnalyzer._diff({}, {"a": 1}) == ["a"]
 
 
+@pytest.mark.parametrize("method", ANALYSIS_METHODS)
+def test_incremental_equals_full_on_generated_graphs(method, random_circuit_factory):
+    """Engine equivalence fuzzed over generated graphs, not just the library.
+
+    The generated circuits cover every operator (including the nonlinear
+    sqrt/exp/log/abs/min/max/mux family), so the cone re-propagation is
+    exercised through every error rule.
+    """
+    for offset in range(6):
+        circuit = random_circuit_factory(1000 + offset)
+        ranges = infer_ranges(circuit.graph, circuit.input_ranges).ranges
+        baseline = ensure_range_coverage(
+            WordLengthAssignment.uniform(circuit.graph, 14, ranges), ranges
+        )
+        engine = IncrementalAnalyzer(
+            circuit.graph, baseline, circuit.input_ranges, horizon=HORIZON, bins=BINS
+        )
+        rng = random.Random(f"gen/{method}/{offset}")
+        for trial in range(4):
+            assignment = baseline
+            nodes = sorted(baseline.formats)
+            for node in rng.sample(nodes, min(2, len(nodes))):
+                frac = assignment.format_of(node).fractional_bits
+                assignment = assignment.with_fractional_bits(
+                    node, max(0, frac + rng.choice((-2, -1, 1)))
+                )
+            assignment = ensure_range_coverage(assignment, ranges)
+            got = engine.analyze(
+                assignment, method, output=circuit.output, commit=bool(trial % 2)
+            )
+            want = DatapathNoiseAnalyzer(
+                circuit.graph, assignment, circuit.input_ranges, horizon=HORIZON, bins=BINS
+            ).analyze(method, output=circuit.output)
+            assert _relative_close(got.noise_power, want.noise_power)
+            assert _relative_close(got.bounds.lo, want.bounds.lo)
+            assert _relative_close(got.bounds.hi, want.bounds.hi)
+
+
 def test_mode_change_is_rejected():
     circuit, ranges, baseline = _setup("quadratic")
     engine = IncrementalAnalyzer(
