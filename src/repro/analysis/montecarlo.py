@@ -25,7 +25,7 @@ from repro.histogram.sampling import sample_histogram
 from repro.intervals.interval import Interval
 from repro.noisemodel.assignment import WordLengthAssignment
 
-__all__ = ["MonteCarloResult", "monte_carlo_error"]
+__all__ = ["MonteCarloResult", "monte_carlo_error", "monte_carlo_error_sharded"]
 
 
 @dataclass(frozen=True)
@@ -116,16 +116,103 @@ def monte_carlo_error(
         record=[output],
     )
     errors = quantized[output] - exact[output]
-    mean = float(errors.mean())
-    variance = float(errors.var())
+    return _result_from_errors(output, samples, steps, errors)
+
+
+def _result_from_errors(
+    output: str, samples: int, steps: int, errors: np.ndarray
+) -> MonteCarloResult:
     return MonteCarloResult(
         output=output,
         samples=samples,
         steps=steps,
         lower=float(errors.min()),
         upper=float(errors.max()),
-        mean=mean,
-        variance=variance,
+        mean=float(errors.mean()),
+        variance=float(errors.var()),
         noise_power=float(np.mean(errors * errors)),
         errors=errors,
     )
+
+
+def _mc_chunk_job(
+    graph: DFG,
+    assignment: WordLengthAssignment,
+    input_ranges: Mapping[str, Interval],
+    samples: int,
+    steps: int,
+    input_pdfs: Mapping[str, HistogramPDF] | None,
+    output: str | None,
+    seed: int,
+) -> np.ndarray:
+    """One shard of a sharded Monte-Carlo run (module-level: picklable)."""
+    return monte_carlo_error(
+        graph,
+        assignment,
+        input_ranges,
+        samples=samples,
+        steps=steps,
+        input_pdfs=input_pdfs,
+        output=output,
+        rng=seed,
+    ).errors
+
+
+def monte_carlo_error_sharded(
+    graph: DFG,
+    assignment: WordLengthAssignment,
+    input_ranges: Mapping[str, Interval],
+    samples: int = 10_000,
+    steps: int = 1,
+    input_pdfs: Mapping[str, HistogramPDF] | None = None,
+    output: str | None = None,
+    seed: int = 0,
+    workers: int = 1,
+    chunk_size: int = 4096,
+) -> MonteCarloResult:
+    """Sharded :func:`monte_carlo_error` with worker-count-independent draws.
+
+    The sample budget is cut into fixed-size chunks — ``chunk_size``
+    samples each, regardless of ``workers`` — and every chunk draws from
+    its own RNG stream seeded by
+    :func:`~repro.jobs.spec.derive_seed`\\ ``(seed, "mc", index)``.
+    Chunk error vectors are concatenated in chunk order before the
+    statistics are computed, so the returned result is **bit-identical
+    for any worker count** (including the serial fallback).  The numbers
+    differ from a single-stream :func:`monte_carlo_error` call of the
+    same seed — the stream topology is part of the contract — but are
+    just as reproducible.
+    """
+    # Local import: keeps repro.jobs optional for plain validator users.
+    from repro.jobs import JobRunner, JobSpec, derive_seed
+
+    if samples < 1:
+        raise NoiseModelError(f"samples must be >= 1, got {samples}")
+    if chunk_size < 1:
+        raise NoiseModelError(f"chunk_size must be >= 1, got {chunk_size}")
+    sizes = [chunk_size] * (samples // chunk_size)
+    if samples % chunk_size:
+        sizes.append(samples % chunk_size)
+    specs = [
+        JobSpec(
+            key=f"mc/{index}",
+            fn=_mc_chunk_job,
+            args=(
+                graph,
+                assignment,
+                input_ranges,
+                size,
+                steps,
+                input_pdfs,
+                output,
+                derive_seed(seed, "mc", index),
+            ),
+            seed=derive_seed(seed, "mc", index),
+        )
+        for index, size in enumerate(sizes)
+    ]
+    results = JobRunner(workers=workers).run(specs, check=True)
+    errors = np.concatenate([result.value for result in results])
+    resolved = output if output is not None else graph.outputs()[0]
+    merged_steps = int(steps) if graph.is_sequential else 1
+    return _result_from_errors(resolved, samples, merged_steps, errors)

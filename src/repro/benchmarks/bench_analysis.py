@@ -6,16 +6,24 @@ vectorized Monte-Carlo validator, and writes ``BENCH_analysis.json`` —
 the per-circuit timing and accuracy baseline that future performance work
 is measured against.
 
+The matrix is sharded per circuit through
+:class:`~repro.jobs.runner.JobRunner`: every circuit is one job with a
+seed derived from its name, so ``--workers 4`` merges to the same
+document as ``--workers 1`` (up to the recorded wall times and the
+``parallel`` execution block).
+
 Usage::
 
-    PYTHONPATH=src python -m repro.benchmarks.bench_analysis          # full run
-    PYTHONPATH=src python -m repro.benchmarks.bench_analysis --smoke  # CI-sized
+    PYTHONPATH=src python -m repro.benchmarks.bench_analysis              # full run
+    PYTHONPATH=src python -m repro.benchmarks.bench_analysis --smoke      # CI-sized
+    PYTHONPATH=src python -m repro.benchmarks.bench_analysis --workers 4  # sharded
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -23,10 +31,43 @@ from typing import Sequence
 
 from repro.analysis.pipeline import ALL_METHODS, NoiseAnalysisPipeline
 from repro.benchmarks.circuits import CIRCUITS, get_circuit
+from repro.jobs import JobRunner, JobSpec, derive_seed, summarize_run
 
 __all__ = ["run_benchmarks", "main"]
 
 DEFAULT_OUTPUT = "BENCH_analysis.json"
+
+#: Methods whose enclosure verdict gates the exit code (sound bounds).
+GATED_METHODS = ("ia", "aa", "taylor")
+
+
+def _analysis_job(
+    name: str,
+    word_length: int,
+    horizon: int,
+    bins: int,
+    mc_samples: int,
+    seed: int,
+    methods: tuple[str, ...] | None,
+) -> dict:
+    """Analyze one circuit (module-level: picklable for process workers)."""
+    pipeline = NoiseAnalysisPipeline(
+        word_length=word_length,
+        horizon=horizon,
+        bins=bins,
+        mc_samples=mc_samples,
+        seed=seed,
+    )
+    circuit = get_circuit(name)
+    started = time.perf_counter()
+    report = pipeline.analyze(circuit, output=circuit.output, method=methods)
+    total = time.perf_counter() - started
+    entry = report.to_dict()
+    entry["description"] = circuit.description
+    entry["tags"] = list(circuit.tags)
+    entry["seed"] = seed
+    entry["total_runtime_s"] = total
+    return entry
 
 
 def run_benchmarks(
@@ -36,16 +77,18 @@ def run_benchmarks(
     bins: int = 32,
     mc_samples: int = 50_000,
     seed: int = 0,
+    methods: Sequence[str] | None = None,
+    workers: int = 1,
 ) -> dict:
-    """Run the full benchmark matrix and return the report document."""
-    pipeline = NoiseAnalysisPipeline(
-        word_length=word_length,
-        horizon=horizon,
-        bins=bins,
-        mc_samples=mc_samples,
-        seed=seed,
-    )
+    """Run the full benchmark matrix and return the report document.
+
+    ``workers`` shards the per-circuit jobs over a process pool; each
+    job's Monte-Carlo seed is :func:`~repro.jobs.spec.derive_seed` of
+    ``seed`` and the circuit name, so the merged document is independent
+    of worker count and scheduling order.
+    """
     names = list(circuits) if circuits else list(CIRCUITS)
+    method_tuple = tuple(methods) if methods is not None else None
     document: dict = {
         "suite": "noise-analysis-pipeline",
         "config": {
@@ -54,30 +97,70 @@ def run_benchmarks(
             "bins": bins,
             "mc_samples": mc_samples,
             "seed": seed,
-            "methods": list(ALL_METHODS),
+            "methods": list(method_tuple or ALL_METHODS),
         },
         "platform": {
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpus": os.cpu_count(),
         },
         "circuits": {},
     }
-    for name in names:
-        circuit = get_circuit(name)
-        started = time.perf_counter()
-        report = pipeline.analyze(circuit, output=circuit.output)
-        total = time.perf_counter() - started
-        entry = report.to_dict()
-        entry["description"] = circuit.description
-        entry["tags"] = list(circuit.tags)
-        entry["total_runtime_s"] = total
-        document["circuits"][name] = entry
-    document["all_enclosed"] = all(
-        entry["enclosure"].get(method, False)
+    specs = [
+        JobSpec(
+            key=f"analysis/{name}",
+            fn=_analysis_job,
+            args=(
+                name,
+                word_length,
+                horizon,
+                bins,
+                mc_samples,
+                derive_seed(seed, "analysis", name),
+                method_tuple,
+            ),
+            seed=derive_seed(seed, "analysis", name),
+        )
+        for name in names
+    ]
+    runner = JobRunner(workers=workers)
+    started = time.perf_counter()
+    results = runner.run(specs, check=True)
+    elapsed = time.perf_counter() - started
+    for name, result in zip(names, results):
+        document["circuits"][name] = result.value
+    verdicts = [
+        entry["enclosure"][method]
         for entry in document["circuits"].values()
-        for method in ("ia", "aa", "taylor")
-    )
+        for method in GATED_METHODS
+        if method in entry["enclosure"]
+    ]
+    document["enclosure_checks"] = len(verdicts)
+    # None (not a vacuous True) when no Monte-Carlo validation ran at
+    # all — e.g. a method-restricted run without "montecarlo".
+    document["all_enclosed"] = all(verdicts) if verdicts else None
+    document["parallel"] = summarize_run(runner, results, elapsed)
     return document
+
+
+def _print_document(document: dict) -> None:
+    for name, entry in document["circuits"].items():
+        print(f"\n== {name}: {entry['description']}")
+        for method, row in entry["results"].items():
+            verdict = entry["enclosure"].get(method)
+            tag = "" if verdict is None else ("  ok" if verdict else "  VIOLATION")
+            print(
+                f"  {method:10s} [{row['lower']:+.6e}, {row['upper']:+.6e}] "
+                f"power={row['noise_power']:.3e} t={row['runtime_s'] * 1e3:8.2f}ms{tag}"
+            )
+        print(f"  total {entry['total_runtime_s'] * 1e3:.1f}ms")
+    parallel = document["parallel"]
+    print(
+        f"\n{parallel['jobs']} jobs on {parallel['workers']} worker(s) "
+        f"[{parallel['backend']}]: wall {parallel['wall_s']:.2f}s, "
+        f"serial estimate {parallel['serial_estimate_s']:.2f}s "
+        f"({parallel['parallel_speedup']:.2f}x)"
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -88,6 +171,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--bins", type=int, default=32)
     parser.add_argument("--samples", type=int, default=50_000)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-parallel shard count (1 = serial; results are identical)",
+    )
     parser.add_argument(
         "--circuit",
         action="append",
@@ -113,23 +202,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         bins=args.bins,
         mc_samples=args.samples,
         seed=args.seed,
+        workers=args.workers,
     )
 
-    for name, entry in document["circuits"].items():
-        print(f"\n== {name}: {entry['description']}")
-        for method, row in entry["results"].items():
-            verdict = entry["enclosure"].get(method)
-            tag = "" if verdict is None else ("  ok" if verdict else "  VIOLATION")
-            print(
-                f"  {method:10s} [{row['lower']:+.6e}, {row['upper']:+.6e}] "
-                f"power={row['noise_power']:.3e} t={row['runtime_s'] * 1e3:8.2f}ms{tag}"
-            )
-        print(f"  total {entry['total_runtime_s'] * 1e3:.1f}ms")
-
+    _print_document(document)
     out_path = Path(args.out)
     out_path.write_text(json.dumps(document, indent=2) + "\n")
     print(f"\nwrote {out_path} (all_enclosed={document['all_enclosed']})")
-    return 0 if document["all_enclosed"] else 1
+    # None means "no enclosure checks ran" (not a violation): still 0.
+    return 1 if document["all_enclosed"] is False else 0
 
 
 if __name__ == "__main__":

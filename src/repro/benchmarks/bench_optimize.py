@@ -7,6 +7,14 @@ with the bit-true Monte-Carlo simulator, and writes
 ``BENCH_optimize.json`` — the paper's headline uniform-vs-optimized
 experiment as a regression-gated artifact.
 
+Each (circuit x method x strategy) cell is one independent job sharded
+through :class:`~repro.jobs.runner.JobRunner` with a seed derived from
+the cell key: ``--workers 4`` merges to the same document as
+``--workers 1`` (up to recorded wall times and the ``parallel`` block),
+because every job builds its own problem, every RNG is seeded from the
+job key, and Monte-Carlo validation runs the sharded
+worker-count-independent validator.
+
 The exit code is the CI gate.  It is non-zero unless:
 
 * every strategy found a feasible design for every circuit x method, and
@@ -17,27 +25,30 @@ The exit code is the CI gate.  It is non-zero unless:
 
 The analytic methods are probabilistic *models*, not sound bounds on the
 measured SNR, so a design sized right at the analytic floor can land a
-fraction of a dB short under simulation.  When that happens the driver
+fraction of a dB short under simulation.  When that happens the job
 escalates: it re-runs the offending strategy with a larger analytic
 margin (``margin + 1, + 2, + 4`` dB) until the Monte-Carlo check passes,
 and records how many attempts were needed.
 
 Usage::
 
-    PYTHONPATH=src python -m repro.benchmarks.bench_optimize          # full run
-    PYTHONPATH=src python -m repro.benchmarks.bench_optimize --smoke  # CI-sized
+    PYTHONPATH=src python -m repro.benchmarks.bench_optimize              # full run
+    PYTHONPATH=src python -m repro.benchmarks.bench_optimize --smoke      # CI-sized
+    PYTHONPATH=src python -m repro.benchmarks.bench_optimize --workers 4  # sharded
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
 from typing import Sequence
 
 from repro.benchmarks.circuits import CIRCUITS, get_circuit
+from repro.jobs import JobRunner, JobSpec, derive_seed, summarize_run
 from repro.optimize import COST_TABLES, HardwareCostModel, OptimizationProblem, get_optimizer
 
 __all__ = ["run_optimize_benchmarks", "main", "METHODS", "STRATEGIES"]
@@ -51,11 +62,78 @@ METHODS = ("ia", "aa", "sna")
 #: Strategies in presentation order; ``uniform`` is the baseline.
 STRATEGIES = ("uniform", "greedy", "anneal")
 
+#: Margin escalation ladder of the per-cell Monte-Carlo validation loop.
+ESCALATION_DB = (0.0, 1.0, 2.0, 4.0)
+
 
 def _strategy_options(strategy: str, seed: int, anneal_iterations: int) -> dict:
     if strategy == "anneal":
         return {"iterations": anneal_iterations, "seed": seed}
     return {}
+
+
+def _optimize_job(
+    circuit_name: str,
+    method: str,
+    strategy: str,
+    snr_floor_db: float,
+    margin_db: float,
+    horizon: int,
+    bins: int,
+    max_word_length: int,
+    mc_samples: int,
+    anneal_iterations: int,
+    cost_table: str,
+    seed: int,
+) -> dict:
+    """Optimize-and-validate one (circuit, method, strategy) cell.
+
+    Module-level so process workers can pickle it.  All randomness —
+    the annealer's proposal stream and the Monte-Carlo validator — is
+    seeded from ``seed`` (derived from the cell key by the caller), and
+    the validator runs sharded (``mc_workers=1``: fixed chunk seeds on
+    the serial backend), so the cell's numbers do not depend on which
+    worker ran it or on how many workers exist.
+    """
+    circuit = get_circuit(circuit_name)
+    cost_model = HardwareCostModel(COST_TABLES[cost_table])
+
+    def make_problem(margin: float) -> OptimizationProblem:
+        return OptimizationProblem.from_circuit(
+            circuit,
+            snr_floor_db,
+            method=method,
+            cost_model=cost_model,
+            horizon=horizon,
+            bins=bins,
+            margin_db=margin,
+            max_word_length=max_word_length,
+            mc_workers=1,
+        )
+
+    problem = make_problem(margin_db)
+    optimizer = get_optimizer(strategy, **_strategy_options(strategy, seed, anneal_iterations))
+    started = time.perf_counter()
+    row: dict = {}
+    for attempt, extra in enumerate(ESCALATION_DB):
+        attempt_problem = problem if extra == 0.0 else make_problem(margin_db + extra)
+        result = optimizer.optimize(attempt_problem)
+        row = result.to_dict(include_trace=False)
+        row["attempts"] = attempt + 1
+        if result.feasible and result.assignment is not None:
+            mc_snr = problem.monte_carlo_snr(result.assignment, samples=mc_samples, seed=seed)
+            row["mc_snr_db"] = mc_snr
+            row["mc_validated"] = bool(mc_snr >= snr_floor_db)
+            if row["mc_validated"]:
+                break
+        else:
+            # Infeasible only gets harder with a larger margin.
+            row["mc_snr_db"] = None
+            row["mc_validated"] = False
+            break
+    row["seed"] = seed
+    row["total_runtime_s"] = time.perf_counter() - started
+    return row
 
 
 def run_optimize_benchmarks(
@@ -71,6 +149,7 @@ def run_optimize_benchmarks(
     seed: int = 0,
     anneal_iterations: int = 120,
     cost_table: str = "lut4",
+    workers: int = 1,
 ) -> dict:
     """Run the optimization benchmark matrix and return the report document."""
     names = list(circuits) if circuits else list(CIRCUITS)
@@ -93,9 +172,44 @@ def run_optimize_benchmarks(
         "platform": {
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpus": os.cpu_count(),
         },
         "circuits": {},
     }
+    cells = [
+        (name, method, strategy)
+        for name in names
+        for method in methods
+        for strategy in strategies
+    ]
+    specs = [
+        JobSpec(
+            key=f"optimize/{name}/{method}/{strategy}",
+            fn=_optimize_job,
+            args=(
+                name,
+                method,
+                strategy,
+                snr_floor_db,
+                margin_db,
+                horizon,
+                bins,
+                max_word_length,
+                mc_samples,
+                anneal_iterations,
+                cost_table,
+                derive_seed(seed, "optimize", name, method, strategy),
+            ),
+            seed=derive_seed(seed, "optimize", name, method, strategy),
+        )
+        for name, method, strategy in cells
+    ]
+    runner = JobRunner(workers=workers)
+    started = time.perf_counter()
+    results = runner.run(specs, check=True)
+    elapsed = time.perf_counter() - started
+    rows_by_cell = {cell: result.value for cell, result in zip(cells, results)}
+
     all_validated = True
     all_improved = True
     for name in names:
@@ -106,47 +220,11 @@ def run_optimize_benchmarks(
             "methods": {},
         }
         for method in methods:
-            def make_problem(margin: float) -> OptimizationProblem:
-                return OptimizationProblem.from_circuit(
-                    circuit,
-                    snr_floor_db,
-                    method=method,
-                    cost_model=cost_model,
-                    horizon=horizon,
-                    bins=bins,
-                    margin_db=margin,
-                    max_word_length=max_word_length,
-                )
-
-            problem = make_problem(margin_db)
             rows: dict = {}
             uniform_cost: float | None = None
             best_optimized: float | None = None
             for strategy in strategies:
-                optimizer = get_optimizer(
-                    strategy, **_strategy_options(strategy, seed, anneal_iterations)
-                )
-                started = time.perf_counter()
-                row: dict = {}
-                for attempt, extra in enumerate((0.0, 1.0, 2.0, 4.0)):
-                    attempt_problem = problem if extra == 0.0 else make_problem(margin_db + extra)
-                    result = optimizer.optimize(attempt_problem)
-                    row = result.to_dict(include_trace=False)
-                    row["attempts"] = attempt + 1
-                    if result.feasible and result.assignment is not None:
-                        mc_snr = problem.monte_carlo_snr(
-                            result.assignment, samples=mc_samples, seed=seed
-                        )
-                        row["mc_snr_db"] = mc_snr
-                        row["mc_validated"] = bool(mc_snr >= snr_floor_db)
-                        if row["mc_validated"]:
-                            break
-                    else:
-                        # Infeasible only gets harder with a larger margin.
-                        row["mc_snr_db"] = None
-                        row["mc_validated"] = False
-                        break
-                row["total_runtime_s"] = time.perf_counter() - started
+                row = rows_by_cell[(name, method, strategy)]
                 all_validated = all_validated and row["mc_validated"]
                 rows[strategy] = row
                 if not (row["feasible"] and row["mc_validated"]):
@@ -171,6 +249,7 @@ def run_optimize_benchmarks(
     document["all_validated"] = all_validated
     document["all_improved"] = all_improved
     document["passed"] = all_validated and all_improved
+    document["parallel"] = summarize_run(runner, results, elapsed)
     return document
 
 
@@ -192,6 +271,13 @@ def _print_document(document: dict) -> None:
                 )
             tag = "improved" if method_entry["improved"] else "NOT IMPROVED"
             print(f"       -> {method}: {tag}")
+    parallel = document["parallel"]
+    print(
+        f"\n{parallel['jobs']} jobs on {parallel['workers']} worker(s) "
+        f"[{parallel['backend']}]: wall {parallel['wall_s']:.2f}s, "
+        f"serial estimate {parallel['serial_estimate_s']:.2f}s "
+        f"({parallel['parallel_speedup']:.2f}x)"
+    )
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -206,6 +292,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--anneal-iterations", type=int, default=120)
     parser.add_argument("--cost-table", choices=list(COST_TABLES), default="lut4")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-parallel shard count (1 = serial; results are identical)",
+    )
     parser.add_argument(
         "--method",
         action="append",
@@ -254,6 +346,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         anneal_iterations=args.anneal_iterations,
         cost_table=args.cost_table,
+        workers=args.workers,
     )
 
     _print_document(document)

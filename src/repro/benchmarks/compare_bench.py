@@ -19,8 +19,12 @@ loosening are quality signals, not correctness regressions.
 
 Usage::
 
-    python -m repro.benchmarks.compare_bench BASE.json HEAD.json \
-        --summary "$GITHUB_STEP_SUMMARY"
+    python -m repro.benchmarks.compare_bench BASE.json HEAD.json
+
+Inside GitHub Actions the markdown table is appended to the job summary
+automatically (``--summary`` defaults to ``$GITHUB_STEP_SUMMARY`` when
+that variable is set); pass ``--summary PATH`` to redirect it or
+``--summary ''`` to suppress it.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 from pathlib import Path
 from typing import List, Sequence, Tuple
 
@@ -160,8 +165,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("head", help="benchmark JSON of the PR head")
     parser.add_argument(
         "--summary",
-        default=None,
-        help="file to append the markdown table to (e.g. $GITHUB_STEP_SUMMARY)",
+        default=os.environ.get("GITHUB_STEP_SUMMARY"),
+        help="file to append the markdown table to; defaults to "
+        "$GITHUB_STEP_SUMMARY when set, so any CI step that runs the "
+        "comparison gets a readable job summary without downloading "
+        "artifacts (pass --summary '' to suppress)",
     )
     parser.add_argument("--max-runtime-ratio", type=float, default=2.0)
     parser.add_argument(

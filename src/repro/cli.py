@@ -1,0 +1,209 @@
+"""The unified ``repro`` command-line interface.
+
+Dispatches the library's workloads without writing driver scripts::
+
+    python -m repro analyze quadratic fir4 --workers 2
+    python -m repro optimize fir4 --snr-floor 60 --strategy greedy
+    python -m repro bench optimize -- --smoke --workers 4
+
+Subcommands
+-----------
+``analyze``
+    Run the noise-analysis pipeline (all methods + Monte-Carlo
+    validation) over named benchmark circuits — or the whole library —
+    sharded over ``--workers`` processes; prints the per-method bound
+    table and optionally writes the ``BENCH_analysis``-shaped JSON.
+``optimize``
+    Word-length optimization of one circuit under an SNR floor, with
+    sharded Monte-Carlo validation of the returned design.
+``bench``
+    Dispatch to the full benchmark drivers (``analysis`` / ``optimize``
+    / ``perf`` / ``compare``), forwarding every remaining argument, so
+    CI and humans spell benchmark invocations exactly one way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro import __version__
+
+__all__ = ["main"]
+
+#: Benchmark drivers reachable through ``repro bench <suite>``.
+BENCH_SUITES = ("analysis", "optimize", "perf", "compare")
+
+
+def _add_analyze_parser(sub) -> None:
+    parser = sub.add_parser(
+        "analyze",
+        help="noise-analysis pipeline over benchmark circuits",
+        description="Analyze benchmark circuits with every noise model "
+        "and validate the bounds against Monte-Carlo simulation.",
+    )
+    parser.add_argument(
+        "circuits", nargs="*", metavar="CIRCUIT", help="circuit names (default: all)"
+    )
+    parser.add_argument("--word-length", type=int, default=12)
+    parser.add_argument("--horizon", type=int, default=8)
+    parser.add_argument("--bins", type=int, default=32)
+    parser.add_argument("--samples", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--method", action="append", help="restrict methods (repeatable)")
+    parser.add_argument("--workers", type=int, default=1, help="process-parallel shards")
+    parser.add_argument("--out", default=None, help="also write the JSON document here")
+
+
+def _add_optimize_parser(sub) -> None:
+    parser = sub.add_parser(
+        "optimize",
+        help="word-length optimization of one circuit",
+        description="Search for a cheap word-length assignment of one "
+        "benchmark circuit meeting an SNR floor, then Monte-Carlo "
+        "validate the returned design.",
+    )
+    parser.add_argument("circuit", metavar="CIRCUIT", help="benchmark circuit name")
+    parser.add_argument("--snr-floor", type=float, default=60.0, dest="snr_floor_db")
+    parser.add_argument("--margin", type=float, default=1.0, dest="margin_db")
+    parser.add_argument("--strategy", default="greedy", help="uniform / greedy / anneal")
+    parser.add_argument("--method", default="aa", help="ia / aa / taylor / sna")
+    parser.add_argument("--horizon", type=int, default=6)
+    parser.add_argument("--bins", type=int, default=16)
+    parser.add_argument("--max-word-length", type=int, default=28)
+    parser.add_argument("--samples", type=int, default=20_000, help="MC validation samples")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--anneal-iterations", type=int, default=120)
+    parser.add_argument("--cost-table", default="lut4")
+    parser.add_argument(
+        "--workers", type=int, default=1, help="Monte-Carlo validation shard workers"
+    )
+    parser.add_argument("--out", default=None, help="also write the result JSON here")
+
+
+def _add_bench_parser(sub) -> None:
+    parser = sub.add_parser(
+        "bench",
+        help="run a full benchmark driver (analysis / optimize / perf / compare)",
+        description="Forward the remaining arguments to a benchmark "
+        "driver; exit code is the driver's gate.",
+    )
+    parser.add_argument("suite", choices=list(BENCH_SUITES))
+    parser.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to the driver (prefix with -- to pass flags)",
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.benchmarks.bench_analysis import _print_document, run_benchmarks
+    from repro.benchmarks.circuits import CIRCUITS
+
+    unknown = [name for name in args.circuits if name not in CIRCUITS]
+    if unknown:
+        raise SystemExit(
+            f"unknown circuit(s): {', '.join(unknown)}; available: {', '.join(CIRCUITS)}"
+        )
+    document = run_benchmarks(
+        circuits=args.circuits or None,
+        word_length=args.word_length,
+        horizon=args.horizon,
+        bins=args.bins,
+        mc_samples=args.samples,
+        seed=args.seed,
+        methods=args.method,
+        workers=args.workers,
+    )
+    _print_document(document)
+    if args.out:
+        Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+        print(f"\nwrote {args.out}")
+    if document["all_enclosed"] is None:
+        print("note: no Monte-Carlo enclosure checks ran (montecarlo not requested)")
+    return 1 if document["all_enclosed"] is False else 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.benchmarks.circuits import CIRCUITS, get_circuit
+    from repro.optimize import COST_TABLES, HardwareCostModel, OptimizationProblem, get_optimizer
+
+    if args.circuit not in CIRCUITS:
+        raise SystemExit(f"unknown circuit {args.circuit!r}; available: {', '.join(CIRCUITS)}")
+    if args.cost_table not in COST_TABLES:
+        raise SystemExit(
+            f"unknown cost table {args.cost_table!r}; available: {', '.join(COST_TABLES)}"
+        )
+    circuit = get_circuit(args.circuit)
+    problem = OptimizationProblem.from_circuit(
+        circuit,
+        args.snr_floor_db,
+        method=args.method,
+        cost_model=HardwareCostModel(COST_TABLES[args.cost_table]),
+        horizon=args.horizon,
+        bins=args.bins,
+        margin_db=args.margin_db,
+        max_word_length=args.max_word_length,
+        mc_workers=args.workers,
+    )
+    options = (
+        {"iterations": args.anneal_iterations, "seed": args.seed}
+        if args.strategy == "anneal"
+        else {}
+    )
+    result = get_optimizer(args.strategy, **options).optimize(problem)
+    print(result.summary())
+    document = result.to_dict(include_trace=False)
+    mc_validated = False
+    if result.feasible and result.assignment is not None:
+        mc_snr = problem.monte_carlo_snr(result.assignment, samples=args.samples, seed=args.seed)
+        mc_validated = bool(mc_snr >= args.snr_floor_db)
+        document["mc_snr_db"] = mc_snr
+        document["mc_validated"] = mc_validated
+        print(f"monte-carlo: {mc_snr:.2f} dB ({'ok' if mc_validated else 'BELOW FLOOR'})")
+        print("word lengths:")
+        for node, bits in sorted(result.assignment.word_lengths().items()):
+            print(f"  {node:20s} {bits:3d} bits")
+    if args.out:
+        Path(args.out).write_text(json.dumps(document, indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0 if result.feasible and mc_validated else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if args.suite == "analysis":
+        from repro.benchmarks.bench_analysis import main as driver
+    elif args.suite == "optimize":
+        from repro.benchmarks.bench_optimize import main as driver
+    elif args.suite == "perf":
+        from repro.benchmarks.bench_perf import main as driver
+    else:
+        from repro.benchmarks.compare_bench import main as driver
+    return int(driver(rest))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fixed-point noise analysis and word-length optimization workloads.",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_analyze_parser(sub)
+    _add_optimize_parser(sub)
+    _add_bench_parser(sub)
+    args = parser.parse_args(argv)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+    return _cmd_bench(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

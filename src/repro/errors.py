@@ -29,6 +29,7 @@ __all__ = [
     "OptimizationError",
     "InfeasibleConstraintError",
     "DesignError",
+    "JobError",
 ]
 
 
@@ -116,3 +117,12 @@ class InfeasibleConstraintError(OptimizationError):
 
 class DesignError(ReproError):
     """Raised when a case-study design is instantiated with bad parameters."""
+
+
+class JobError(ReproError):
+    """Raised when a sharded job batch cannot run or a worker fails.
+
+    Carries the failing job's captured error and traceback when a job
+    raised, or a broken-pool diagnosis when a worker process died
+    without reporting a result.
+    """

@@ -182,7 +182,15 @@ class AffineForm:
         raise TypeError(f"cannot combine AffineForm with {type(other).__name__}")
 
     def _merged_symbols(self, other: "AffineForm") -> Iterable[str]:
-        return set(self.terms) | set(other.terms)
+        # Insertion-order union, NOT a set union: set iteration order
+        # follows the per-process string-hash seed, so a set here makes
+        # the merged term dict — and every downstream float reduction
+        # over ``terms.values()`` (radius, interval hull) — differ in
+        # the last ulp between worker processes.  Deterministic order is
+        # what lets sharded runs merge bit-identically to serial ones.
+        merged = dict.fromkeys(self.terms)
+        merged.update(dict.fromkeys(other.terms))
+        return merged
 
     # ------------------------------------------------------------------ #
     # linear arithmetic (exact)

@@ -1,0 +1,35 @@
+"""Process-parallel job runner for embarrassingly decomposable workloads.
+
+The analysis / optimization benchmark matrix — and the optimizer's
+Monte-Carlo validation — decompose into independent
+(circuit x method x strategy) work units.  This package shards them:
+
+* :class:`~repro.jobs.spec.JobSpec` / :class:`~repro.jobs.spec.JobResult`
+  describe one unit and its captured outcome (value or error+traceback,
+  wall and CPU time, deterministic seed);
+* :func:`~repro.jobs.spec.derive_seed` derives per-job seeds from the
+  job *key*, never from scheduling, so any worker count reproduces the
+  same numbers;
+* :class:`~repro.jobs.runner.JobRunner` executes a batch on a serial
+  loop or a chunked :class:`~concurrent.futures.ProcessPoolExecutor`,
+  returning results in submission order;
+* :func:`~repro.jobs.canonical.canonical_document` strips the volatile
+  (timing) layer of a benchmark document so serial-vs-parallel
+  bit-identity is testable with ``==``.
+"""
+
+from repro.jobs.canonical import canonical_document, is_volatile_key
+from repro.jobs.runner import BACKENDS, JobRunner, execute_job, summarize_run
+from repro.jobs.spec import JobResult, JobSpec, derive_seed
+
+__all__ = [
+    "BACKENDS",
+    "JobRunner",
+    "JobResult",
+    "JobSpec",
+    "canonical_document",
+    "derive_seed",
+    "execute_job",
+    "is_volatile_key",
+    "summarize_run",
+]

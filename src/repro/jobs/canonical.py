@@ -1,0 +1,55 @@
+"""Canonicalization of benchmark documents for determinism checks.
+
+The sharded drivers promise that a parallel run merges to the *same*
+``BENCH_*.json`` as a serial run — except, unavoidably, for measured
+times (wall clocks differ run-to-run even serially) and for the
+``parallel`` execution record itself (it names the worker count).
+:func:`canonical_document` strips exactly that volatile layer so two
+documents can be compared with ``==``:
+
+* every key ending in ``_s`` (``runtime_s``, ``wall_s``, ``cpu_total_s``,
+  ``incremental_s``, ...);
+* every key containing ``speedup`` (timing ratios) and the
+  timing-derived verdicts ``speedup_ok`` / ``passed`` of the perf suite;
+* the ``parallel`` block and any embedded ``workers`` count.
+
+Everything else — bounds, moments, SNRs, costs, word lengths, seeds,
+enclosure and validation verdicts — must match bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["canonical_document", "is_volatile_key"]
+
+#: Keys dropped wholesale (execution-shape records and timing-derived
+#: gate verdicts, which may legitimately differ between backends).
+#: ``inner_loop_method*`` names the *fastest measured* method — a
+#: timing comparison, so it is as volatile as the timings themselves.
+_VOLATILE_KEYS = {
+    "parallel",
+    "workers",
+    "speedup_ok",
+    "passed",
+    "inner_loop_method",
+    "inner_loop_method_cpu",
+}
+
+
+def is_volatile_key(key: str) -> bool:
+    """True for keys whose values are timing- or scheduling-dependent."""
+    return key.endswith("_s") or "speedup" in key or key in _VOLATILE_KEYS
+
+
+def canonical_document(document: Any) -> Any:
+    """Recursively drop volatile keys; leaves and lists pass through."""
+    if isinstance(document, dict):
+        return {
+            key: canonical_document(value)
+            for key, value in document.items()
+            if not is_volatile_key(key)
+        }
+    if isinstance(document, (list, tuple)):
+        return [canonical_document(item) for item in document]
+    return document

@@ -1,0 +1,185 @@
+"""Process-parallel execution of independent job shards.
+
+:class:`JobRunner` runs a batch of :class:`~repro.jobs.spec.JobSpec`
+work units on one of two backends:
+
+``serial``
+    A plain in-process loop — the reference semantics, no pickling
+    requirements, and the fallback when ``workers == 1`` or process
+    pools are unavailable.
+``process``
+    A :class:`concurrent.futures.ProcessPoolExecutor` fed through a
+    chunked ``map``: jobs are dispatched in submission order with a
+    chunk size sized so each worker receives a handful of batches
+    (amortizing pickling without starving the queue's tail).
+
+Both backends return results **in submission order**, never completion
+order, and every per-job seed derives from the job key alone — so a
+merge over the result list is bit-identical for any worker count.  A
+job that raises is captured as a failed :class:`JobResult` (error +
+traceback), not an exception in the parent; a worker that dies without
+reporting (killed, segfault) surfaces as :class:`JobError`.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterable, List, Sequence
+
+from repro.errors import JobError
+from repro.jobs.spec import JobResult, JobSpec
+
+__all__ = ["JobRunner", "execute_job", "summarize_run", "BACKENDS"]
+
+BACKENDS = ("serial", "process")
+
+
+def execute_job(spec: JobSpec) -> JobResult:
+    """Run one job, timing it and converting any exception into data.
+
+    Module-level so the process backend can pickle it; the serial
+    backend calls it directly, guaranteeing identical semantics.
+    """
+    wall = time.perf_counter()
+    cpu = time.process_time()
+    try:
+        value = spec.fn(*spec.args, **dict(spec.kwargs))
+    except Exception as exc:  # noqa: BLE001 - the whole point is capture
+        return JobResult(
+            key=spec.key,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+            wall_s=time.perf_counter() - wall,
+            cpu_s=time.process_time() - cpu,
+            seed=spec.seed,
+        )
+    return JobResult(
+        key=spec.key,
+        ok=True,
+        value=value,
+        wall_s=time.perf_counter() - wall,
+        cpu_s=time.process_time() - cpu,
+        seed=spec.seed,
+    )
+
+
+class JobRunner:
+    """Execute independent jobs serially or on a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker-process count.  ``1`` selects the serial backend unless
+        ``backend`` overrides it; values above 1 select the process
+        backend by default.
+    backend:
+        ``"serial"`` or ``"process"``; ``None`` picks from ``workers``.
+    chunksize:
+        Jobs per pickled batch on the process backend; defaults to
+        ``ceil(len(jobs) / (workers * 4))`` so the work queue stays
+        balanced even when job durations are skewed.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        backend: str | None = None,
+        chunksize: int | None = None,
+    ) -> None:
+        workers = int(workers)
+        if workers < 1:
+            raise JobError(f"workers must be >= 1, got {workers}")
+        if backend is None:
+            backend = "process" if workers > 1 else "serial"
+        if backend not in BACKENDS:
+            raise JobError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if chunksize is not None and chunksize < 1:
+            raise JobError(f"chunksize must be >= 1, got {chunksize}")
+        self.workers = workers
+        self.backend = backend
+        self.chunksize = chunksize
+
+    # ------------------------------------------------------------------ #
+    def run(self, specs: Iterable[JobSpec], check: bool = False) -> List[JobResult]:
+        """Execute every job and return results in submission order.
+
+        With ``check=True`` the first failed job raises :class:`JobError`
+        carrying the worker's error and traceback; with ``check=False``
+        failures come back as ``JobResult(ok=False)`` for the caller to
+        inspect.
+        """
+        ordered = list(specs)
+        seen: set[str] = set()
+        for spec in ordered:
+            if spec.key in seen:
+                raise JobError(f"duplicate job key {spec.key!r}; keys must be unique")
+            seen.add(spec.key)
+        if not ordered:
+            return []
+        if self.backend == "serial" or len(ordered) == 1:
+            results = [execute_job(spec) for spec in ordered]
+        else:
+            results = self._run_process_pool(ordered)
+        if check:
+            self.raise_on_failure(results)
+        return results
+
+    def _run_process_pool(self, ordered: Sequence[JobSpec]) -> List[JobResult]:
+        workers = min(self.workers, len(ordered))
+        chunksize = self.chunksize or max(1, -(-len(ordered) // (workers * 4)))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # map() preserves submission order regardless of which
+                # worker finishes first — the determinism anchor.
+                return list(pool.map(execute_job, ordered, chunksize=chunksize))
+        except BrokenProcessPool as exc:
+            raise JobError(
+                "a worker process died without reporting a result (killed, "
+                "out-of-memory, or a hard crash); re-run with workers=1 to "
+                f"localize the failing job among {len(ordered)} submitted"
+            ) from exc
+
+    @staticmethod
+    def raise_on_failure(results: Sequence[JobResult]) -> None:
+        """Raise :class:`JobError` describing every failed job, if any."""
+        failed = [result for result in results if not result.ok]
+        if not failed:
+            return
+        first = failed[0]
+        detail = f"\n--- worker traceback ({first.key}) ---\n{first.traceback}"
+        keys = ", ".join(result.key for result in failed)
+        raise JobError(
+            f"{len(failed)} of {len(results)} jobs failed ({keys}); "
+            f"first failure: {first.error}{detail}"
+        )
+
+
+def summarize_run(runner: JobRunner, results: Sequence[JobResult], wall_s: float) -> dict:
+    """Sharding summary block the benchmark documents record.
+
+    ``serial_estimate_s`` is the sum of per-job wall times — what the
+    batch would have cost on one worker — so ``parallel_speedup`` is a
+    measured (not modeled) wall-clock improvement of this very run.
+    ``cpu_speedup`` divides the summed per-job *CPU* time by the wall
+    time instead; on a machine with fewer cores than workers the jobs
+    time-share and inflate each other's wall clocks, so the CPU variant
+    is the honest lower bound there (the two agree when cores >=
+    workers).
+    """
+    serial_estimate = sum(result.wall_s for result in results)
+    cpu_total = sum(result.cpu_s for result in results)
+    return {
+        "backend": runner.backend,
+        "workers": runner.workers,
+        "jobs": len(results),
+        "wall_s": wall_s,
+        "serial_estimate_s": serial_estimate,
+        "cpu_total_s": cpu_total,
+        "max_job_wall_s": max((result.wall_s for result in results), default=0.0),
+        "parallel_speedup": serial_estimate / wall_s if wall_s > 0.0 else float("inf"),
+        "cpu_speedup": cpu_total / wall_s if wall_s > 0.0 else float("inf"),
+    }

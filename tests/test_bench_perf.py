@@ -33,12 +33,35 @@ def test_document_shape_and_equivalence_gate():
             assert row["probes"] > 0
             assert row["runtime_s"] > 0.0
             assert row["full_runtime_s"] > 0.0
+            assert row["incremental_cpu_s"] > 0.0
+            assert row["full_cpu_s"] > 0.0
+            assert row["inner_loop_speedup_cpu"] > 0.0
         assert entry["enclosure"] == {"ia": True, "sna": True}
         assert entry["inner_loop_method"] in ("ia", "sna")
+        assert entry["inner_loop_method_cpu"] in ("ia", "sna")
         for e2e in entry["greedy_end_to_end"].values():
             assert e2e["incremental_s"] > 0.0 and e2e["full_s"] > 0.0
     assert document["circuits"]["fft_butterfly"]["gated"] is True
     assert document["circuits"]["quadratic"]["gated"] is False
+
+
+def test_cpu_gate_metric():
+    import pytest
+
+    document = run_perf_benchmarks(
+        circuits=["fft_butterfly"],
+        methods=("ia",),
+        horizon=3,
+        bins=8,
+        reps=1,
+        equiv_trials=2,
+        min_speedup=0.0,
+        gate_metric="cpu",
+    )
+    assert document["config"]["gate_metric"] == "cpu"
+    assert document["speedup_ok"] is True
+    with pytest.raises(ValueError, match="gate_metric"):
+        run_perf_benchmarks(circuits=["quadratic"], gate_metric="sidereal")
 
 
 def test_compare_bench_consumes_perf_documents():
