@@ -9,10 +9,12 @@ Monte-Carlo simulation on the same fixed-point design — the experiment
 at the heart of the paper, packaged as one call.
 """
 
+from repro.analysis.batched import BatchedAnalyzer
 from repro.analysis.incremental import IncrementalAnalyzer, IncrementalStats
 from repro.analysis.montecarlo import MonteCarloResult, monte_carlo_error
 from repro.analysis.pipeline import ALL_METHODS, NoiseAnalysisPipeline
 from repro.analysis.report import AnalysisReport, MethodResult
+from repro.config import AnalysisConfig, OptimizeConfig
 
 __all__ = [
     "NoiseAnalysisPipeline",
@@ -23,4 +25,7 @@ __all__ = [
     "monte_carlo_error",
     "IncrementalAnalyzer",
     "IncrementalStats",
+    "BatchedAnalyzer",
+    "AnalysisConfig",
+    "OptimizeConfig",
 ]

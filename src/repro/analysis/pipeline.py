@@ -26,11 +26,18 @@ which runs, in order:
 from __future__ import annotations
 
 import math
+import os
 import time
+import warnings
 from typing import Dict, Iterable, Mapping
 
-from repro.analysis.montecarlo import MonteCarloResult, monte_carlo_error
+from repro.analysis.montecarlo import (
+    MonteCarloResult,
+    monte_carlo_error,
+    monte_carlo_error_sharded,
+)
 from repro.analysis.report import AnalysisReport, MethodResult
+from repro.config import UNSET, AnalysisConfig, OptimizeConfig, merge_deprecated_kwargs
 from repro.dfg.builder import expression_to_dfg
 from repro.dfg.graph import DFG
 from repro.dfg.range_analysis import infer_ranges
@@ -58,41 +65,59 @@ class NoiseAnalysisPipeline:
 
     Parameters
     ----------
-    word_length:
-        Uniform word length used when no explicit assignment is given.
-    horizon:
-        Unrolling depth / simulated steps for sequential designs.
-    bins:
-        Histogram granularity of the SNA method.
-    mc_samples:
-        Sample count of the Monte-Carlo validator.
-    seed:
-        Seed of the Monte-Carlo RNG (runs are reproducible by default).
-    enclosure_tol:
-        Absolute slack allowed when judging whether sampled errors fall
-        inside analytic bounds (guards against float round-off in the
-        comparison itself, not against unsound bounds).
+    config:
+        An :class:`~repro.config.AnalysisConfig` carrying word length,
+        unrolling horizon, SNA bins, the default method subset, and the
+        Monte-Carlo budget/seed/workers.  A bare ``int`` is accepted as
+        a deprecated shorthand for the pre-PR-7 ``word_length``
+        positional.  The old per-field keyword arguments
+        (``word_length``, ``horizon``, ``bins``, ``mc_samples``,
+        ``seed``, ``enclosure_tol``) survive for one release as
+        deprecated aliases that override the config and emit
+        :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
-        word_length: int = 12,
-        horizon: int = 8,
-        bins: int = 32,
-        mc_samples: int = 20_000,
-        seed: int | None = 0,
-        enclosure_tol: float = 1e-12,
+        config: AnalysisConfig | int | None = None,
+        *,
+        word_length: object = UNSET,
+        horizon: object = UNSET,
+        bins: object = UNSET,
+        mc_samples: object = UNSET,
+        seed: object = UNSET,
+        enclosure_tol: object = UNSET,
     ) -> None:
-        if word_length < 2:
-            raise NoiseModelError(f"word_length must be >= 2, got {word_length}")
-        if horizon < 1:
-            raise NoiseModelError(f"horizon must be >= 1, got {horizon}")
-        self.word_length = int(word_length)
-        self.horizon = int(horizon)
-        self.bins = int(bins)
-        self.mc_samples = int(mc_samples)
-        self.seed = seed
-        self.enclosure_tol = float(enclosure_tol)
+        if isinstance(config, int):
+            warnings.warn(
+                "passing word_length positionally is deprecated; pass "
+                "AnalysisConfig(word_length=...) via 'config' instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = AnalysisConfig(word_length=config)
+        elif config is None:
+            config = AnalysisConfig()
+        config = merge_deprecated_kwargs(
+            config,
+            {
+                "word_length": word_length,
+                "horizon": horizon,
+                "bins": bins,
+                "mc_samples": mc_samples,
+                "seed": seed,
+                "enclosure_tol": enclosure_tol,
+            },
+        )
+        #: The resolved :class:`AnalysisConfig` this pipeline runs under.
+        self.config = config
+        self.word_length = int(config.word_length)
+        self.horizon = int(config.horizon)
+        self.bins = int(config.bins)
+        self.mc_samples = int(config.mc_samples)
+        self.seed = config.seed
+        self.mc_workers = config.mc_workers
+        self.enclosure_tol = float(config.enclosure_tol)
 
     # ------------------------------------------------------------------ #
     def analyze(
@@ -130,6 +155,8 @@ class NoiseAnalysisPipeline:
             output by default).
         """
         graph, ranges_in = self._coerce_circuit(circuit, input_ranges, name)
+        if method is None and self.config.methods is not None:
+            method = self.config.methods
         methods = self._coerce_methods(method)
 
         range_result = infer_ranges(graph, ranges_in)
@@ -154,16 +181,35 @@ class NoiseAnalysisPipeline:
         for method_name in methods:
             started = time.perf_counter()
             if method_name == "montecarlo":
-                mc_result = monte_carlo_error(
-                    graph,
-                    assignment,
-                    ranges_in,
-                    samples=self.mc_samples,
-                    steps=self.horizon,
-                    input_pdfs=input_pdfs,
-                    output=out_node,
-                    rng=self.seed,
-                )
+                if self.mc_workers is not None:
+                    seed = self.seed
+                    if seed is None:
+                        # entropy requested alongside sharding: derive the
+                        # chunk seeds from a random base instead of
+                        # dropping the workers
+                        seed = int.from_bytes(os.urandom(4), "big")
+                    mc_result = monte_carlo_error_sharded(
+                        graph,
+                        assignment,
+                        ranges_in,
+                        samples=self.mc_samples,
+                        steps=self.horizon,
+                        input_pdfs=input_pdfs,
+                        output=out_node,
+                        seed=seed,
+                        workers=self.mc_workers,
+                    )
+                else:
+                    mc_result = monte_carlo_error(
+                        graph,
+                        assignment,
+                        ranges_in,
+                        samples=self.mc_samples,
+                        steps=self.horizon,
+                        input_pdfs=input_pdfs,
+                        output=out_node,
+                        rng=self.seed,
+                    )
                 elapsed = time.perf_counter() - started
                 noise_power = mc_result.noise_power
                 snr = (
@@ -289,48 +335,99 @@ class NoiseAnalysisPipeline:
             return output
         raise NoiseModelError(f"unknown output {output!r}; graph outputs: {outputs}")
 
-    def optimize(
+    def _build_problem(
         self,
         circuit: Expression | DFG,
         snr_floor_db: float,
-        strategy: str = "greedy",
-        method: str = "aa",
-        *,
-        cost_model: HardwareCostModel | None = None,
-        input_ranges: Mapping[str, RangeLike] | None = None,
-        output: str | None = None,
-        name: str | None = None,
-        margin_db: float = 0.0,
-        max_word_length: int = 28,
-        **strategy_options: object,
-    ) -> OptimizationResult:
-        """Search for a cheap word-length assignment meeting an SNR floor.
-
-        Builds an :class:`~repro.optimize.problem.OptimizationProblem`
-        from the circuit (reusing the pipeline's horizon / bins / modes),
-        then runs the requested strategy (``uniform``, ``greedy`` or
-        ``anneal``) against the chosen analysis method.  Returns the full
-        :class:`~repro.optimize.result.OptimizationResult` trace; the
-        final design is ``result.assignment`` and can be fed back into
-        :meth:`analyze` for a complete report.
-        """
+        config: OptimizeConfig,
+        cost_model: HardwareCostModel | None,
+        input_ranges: Mapping[str, RangeLike] | None,
+        output: str | None,
+        name: str | None,
+    ) -> OptimizationProblem:
         graph, ranges_in = self._coerce_circuit(circuit, input_ranges, name)
         if output is None:
             # honor a duck-typed benchmark circuit's designated output,
             # matching OptimizationProblem.from_circuit
             output = getattr(circuit, "output", None)
-        problem = OptimizationProblem(
+        return OptimizationProblem(
             graph,
             ranges_in,
             snr_floor_db=snr_floor_db,
             cost_model=cost_model,
-            method=method,
-            horizon=self.horizon,
-            bins=self.bins,
-            margin_db=margin_db,
-            max_word_length=max_word_length,
+            config=config,
             output=output,
             name=name or graph.name,
         )
-        optimizer = get_optimizer(strategy, **strategy_options)
+
+    def optimize(
+        self,
+        circuit: Expression | DFG,
+        snr_floor_db: float,
+        strategy: str | None = None,
+        config: OptimizeConfig | None = None,
+        *,
+        cost_model: HardwareCostModel | None = None,
+        input_ranges: Mapping[str, RangeLike] | None = None,
+        output: str | None = None,
+        name: str | None = None,
+        method: object = UNSET,
+        margin_db: object = UNSET,
+        max_word_length: object = UNSET,
+        **strategy_options: object,
+    ) -> OptimizationResult:
+        """Search for a cheap word-length assignment meeting an SNR floor.
+
+        Builds an :class:`~repro.optimize.problem.OptimizationProblem`
+        from the circuit and an :class:`~repro.config.OptimizeConfig`
+        (defaulting the analyzer knobs to the pipeline's own config),
+        then runs the requested strategy (``uniform``, ``greedy`` or
+        ``anneal`` — default: the config's) against the config's analysis
+        method and engine.  ``method`` / ``margin_db`` /
+        ``max_word_length`` keywords survive as deprecated aliases.
+        Returns the full :class:`~repro.optimize.result.OptimizationResult`
+        trace; the final design is ``result.assignment`` and can be fed
+        back into :meth:`analyze` for a complete report.
+        """
+        if config is None:
+            config = OptimizeConfig(horizon=self.horizon, bins=self.bins)
+        config = merge_deprecated_kwargs(
+            config,
+            {"method": method, "margin_db": margin_db, "max_word_length": max_word_length},
+        )
+        problem = self._build_problem(
+            circuit, snr_floor_db, config, cost_model, input_ranges, output, name
+        )
+        optimizer = get_optimizer(strategy or config.strategy, **strategy_options)
         return optimizer.optimize(problem)
+
+    def pareto(
+        self,
+        circuit: Expression | DFG,
+        floors: Iterable[float],
+        strategy: str | None = None,
+        config: OptimizeConfig | None = None,
+        *,
+        cost_model: HardwareCostModel | None = None,
+        input_ranges: Mapping[str, RangeLike] | None = None,
+        output: str | None = None,
+        name: str | None = None,
+        **strategy_options: object,
+    ):
+        """Sweep a cost-vs-SNR Pareto front over several floors in one call.
+
+        Builds one :class:`~repro.optimize.problem.OptimizationProblem`
+        and hands it to :func:`repro.optimize.pareto.pareto_front`:
+        floors are swept tightest-first with warm-started state (shared
+        caches, engines and the previous floor's design), so the curve is
+        monotone by construction.  Returns a
+        :class:`~repro.optimize.pareto.ParetoFront`.
+        """
+        if config is None:
+            config = OptimizeConfig(horizon=self.horizon, bins=self.bins)
+        floors = list(floors)
+        floor_seed = max(float(f) for f in floors) if floors else config.snr_floor_db
+        problem = self._build_problem(
+            circuit, floor_seed, config, cost_model, input_ranges, output, name
+        )
+        return problem.pareto(floors, strategy=strategy, **strategy_options)

@@ -84,8 +84,13 @@ class AnalysisReport:
         One :class:`MethodResult` per analysis method run.
     enclosure:
         Per-method verdict of the Monte-Carlo cross-check: ``True`` when
-        the method's bounds enclose every sampled error (only present
-        when the Monte-Carlo method ran).
+        the method's bounds enclose every sampled error.  **Tri-state by
+        omission**: the dict is *empty* when the Monte-Carlo method did
+        not run, so "no verdict" and "all verdicts true" are different
+        states that plain truthiness testing conflates.  Use
+        :meth:`enclosure_verdict` instead of reducing this dict by hand
+        (benchmark documents carry the same convention in their
+        ``all_enclosed`` field: ``None`` = never cross-checked).
     """
 
     circuit: str
@@ -106,6 +111,20 @@ class AnalysisReport:
     def result(self, method: str) -> MethodResult:
         """Result of one method; raises ``KeyError`` when it was not run."""
         return self.results[method]
+
+    def enclosure_verdict(self) -> Optional[bool]:
+        """Aggregate Monte-Carlo enclosure verdict, honoring the tri-state.
+
+        Returns ``True`` when every cross-checked method enclosed the
+        sampled errors, ``False`` when at least one violated them, and
+        ``None`` when the Monte-Carlo cross-check never ran (no verdict
+        exists — which is *not* a pass).  Callers gating on soundness
+        should treat only ``False`` as a failure and only ``True`` as an
+        affirmative pass.
+        """
+        if not self.enclosure:
+            return None
+        return all(self.enclosure.values())
 
     @property
     def methods(self) -> List[str]:

@@ -31,6 +31,7 @@ from typing import Sequence
 
 from repro.analysis.pipeline import ALL_METHODS, NoiseAnalysisPipeline
 from repro.benchmarks.circuits import CIRCUITS, get_circuit
+from repro.config import AnalysisConfig
 from repro.jobs import JobRunner, JobSpec, derive_seed, summarize_run
 
 __all__ = ["run_benchmarks", "main"]
@@ -52,11 +53,13 @@ def _analysis_job(
 ) -> dict:
     """Analyze one circuit (module-level: picklable for process workers)."""
     pipeline = NoiseAnalysisPipeline(
-        word_length=word_length,
-        horizon=horizon,
-        bins=bins,
-        mc_samples=mc_samples,
-        seed=seed,
+        AnalysisConfig(
+            word_length=word_length,
+            horizon=horizon,
+            bins=bins,
+            mc_samples=mc_samples,
+            seed=seed,
+        )
     )
     circuit = get_circuit(name)
     started = time.perf_counter()

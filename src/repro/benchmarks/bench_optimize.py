@@ -48,6 +48,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.benchmarks.circuits import CIRCUITS, get_circuit
+from repro.config import OptimizeConfig
 from repro.jobs import JobRunner, JobSpec, derive_seed, summarize_run
 from repro.optimize import COST_TABLES, HardwareCostModel, OptimizationProblem, get_optimizer
 
@@ -96,19 +97,21 @@ def _optimize_job(
     worker ran it or on how many workers exist.
     """
     circuit = get_circuit(circuit_name)
-    cost_model = HardwareCostModel(COST_TABLES[cost_table])
+    config = OptimizeConfig(
+        strategy=strategy,
+        method=method,
+        snr_floor_db=snr_floor_db,
+        margin_db=margin_db,
+        cost_table=cost_table,
+        horizon=horizon,
+        bins=bins,
+        max_word_length=max_word_length,
+        mc_workers=1,
+    )
 
     def make_problem(margin: float) -> OptimizationProblem:
         return OptimizationProblem.from_circuit(
-            circuit,
-            snr_floor_db,
-            method=method,
-            cost_model=cost_model,
-            horizon=horizon,
-            bins=bins,
-            margin_db=margin,
-            max_word_length=max_word_length,
-            mc_workers=1,
+            circuit, snr_floor_db, config=config.replace(margin_db=margin)
         )
 
     problem = make_problem(margin_db)

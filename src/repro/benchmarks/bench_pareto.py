@@ -1,0 +1,308 @@
+"""Benchmark driver: one-call cost-vs-SNR Pareto sweeps across circuits.
+
+Sweeps every benchmark circuit over a ladder of SNR floors with
+:func:`~repro.optimize.pareto.pareto_front` (warm-started, shared-state,
+batched-engine greedy by default), Monte-Carlo validates every feasible
+point with the bit-true sharded simulator, and writes
+``BENCH_pareto.json`` — the paper's cost-vs-quality trade-off curve as a
+regression-gated artifact that ``compare_bench`` can diff across
+revisions (a head point costing more than the base point at the same
+floor is a dominated regression).
+
+Each circuit is one job sharded through
+:class:`~repro.jobs.runner.JobRunner` with a seed derived from its name,
+so ``--workers 4`` merges to the same document as ``--workers 1`` (up to
+recorded wall times and the ``parallel`` block).
+
+The exit code is the CI gate.  It is non-zero unless:
+
+* every circuit's curve is monotone (cost non-increasing as the floor
+  relaxes — guaranteed by construction, so a violation is a bug in the
+  warm-start plumbing, not noise), and
+* every circuit meets at least its loosest floor, and
+* every feasible point's design actually achieves its floor under
+  Monte-Carlo simulation (the analytic ``--margin`` absorbs the
+  model-vs-simulation gap exactly as in ``bench_optimize``).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.benchmarks.bench_pareto              # full run
+    PYTHONPATH=src python -m repro.benchmarks.bench_pareto --smoke      # CI-sized
+    PYTHONPATH=src python -m repro.benchmarks.bench_pareto --workers 4  # sharded
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.benchmarks.circuits import CIRCUITS, get_circuit
+from repro.config import ENGINES, OptimizeConfig
+from repro.jobs import JobRunner, JobSpec, derive_seed, summarize_run
+from repro.optimize import OptimizationProblem
+
+__all__ = ["run_pareto_benchmarks", "main"]
+
+DEFAULT_OUTPUT = "BENCH_pareto.json"
+
+#: SNR floors of the default sweep (dB), loosest to tightest.
+DEFAULT_FLOORS = (45.0, 50.0, 55.0, 60.0, 65.0)
+
+
+def _pareto_job(
+    circuit_name: str,
+    floors: tuple[float, ...],
+    strategy: str,
+    method: str,
+    engine: str,
+    margin_db: float,
+    horizon: int,
+    bins: int,
+    max_word_length: int,
+    mc_samples: int,
+    anneal_iterations: int,
+    seed: int,
+) -> dict:
+    """Sweep-and-validate one circuit (module-level: picklable).
+
+    All randomness — the annealer's proposals (if selected) and the
+    Monte-Carlo validator — is seeded from ``seed`` (derived from the
+    circuit name by the caller), and validation runs the sharded
+    worker-count-independent simulator, so the row does not depend on
+    which worker ran it.
+    """
+    circuit = get_circuit(circuit_name)
+    config = OptimizeConfig(
+        strategy=strategy,
+        method=method,
+        snr_floor_db=max(floors),
+        margin_db=margin_db,
+        engine=engine,
+        horizon=horizon,
+        bins=bins,
+        max_word_length=max_word_length,
+        mc_workers=1,
+    )
+    problem = OptimizationProblem.from_circuit(circuit, max(floors), config=config)
+    options = (
+        {"iterations": anneal_iterations, "seed": seed} if strategy == "anneal" else {}
+    )
+    started = time.perf_counter()
+    front = problem.pareto(floors, strategy=strategy, **options)
+    row = front.to_dict()
+    all_validated = True
+    for point, result, doc in zip(front.points, front.results, row["points"]):
+        if not point.feasible or result.assignment is None:
+            doc["mc_snr_db"] = None
+            doc["mc_validated"] = None
+            continue
+        mc_snr = problem.monte_carlo_snr(result.assignment, samples=mc_samples, seed=seed)
+        doc["mc_snr_db"] = mc_snr
+        doc["mc_validated"] = bool(mc_snr >= point.snr_floor_db)
+        all_validated = all_validated and doc["mc_validated"]
+    row["description"] = circuit.description
+    row["tags"] = list(circuit.tags)
+    row["seed"] = seed
+    row["feasible_floors"] = len(front.feasible_points)
+    row["analyzer_calls"] = problem.analyzer_calls
+    row["batched_sweeps"] = problem.batched_calls
+    row["fallback_probes"] = problem.fallback_probes
+    row["all_validated"] = all_validated
+    row["total_runtime_s"] = time.perf_counter() - started
+    return row
+
+
+def run_pareto_benchmarks(
+    circuits: Sequence[str] | None = None,
+    floors: Sequence[float] = DEFAULT_FLOORS,
+    strategy: str = "greedy",
+    method: str = "ia",
+    engine: str = "batched",
+    margin_db: float = 1.0,
+    horizon: int = 6,
+    bins: int = 16,
+    max_word_length: int = 28,
+    mc_samples: int = 20_000,
+    seed: int = 0,
+    anneal_iterations: int = 120,
+    workers: int = 1,
+) -> dict:
+    """Run the Pareto benchmark matrix and return the report document."""
+    names = list(circuits) if circuits else list(CIRCUITS)
+    floor_tuple = tuple(sorted({float(f) for f in floors}))
+    document: dict = {
+        "suite": "pareto-front",
+        "config": {
+            "floors": list(floor_tuple),
+            "strategy": strategy,
+            "method": method,
+            "engine": engine,
+            "margin_db": margin_db,
+            "horizon": horizon,
+            "bins": bins,
+            "max_word_length": max_word_length,
+            "mc_samples": mc_samples,
+            "seed": seed,
+            "anneal_iterations": anneal_iterations,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "circuits": {},
+    }
+    specs = [
+        JobSpec(
+            key=f"pareto/{name}",
+            fn=_pareto_job,
+            args=(
+                name,
+                floor_tuple,
+                strategy,
+                method,
+                engine,
+                margin_db,
+                horizon,
+                bins,
+                max_word_length,
+                mc_samples,
+                anneal_iterations,
+                derive_seed(seed, "pareto", name),
+            ),
+            seed=derive_seed(seed, "pareto", name),
+        )
+        for name in names
+    ]
+    runner = JobRunner(workers=workers)
+    started = time.perf_counter()
+    results = runner.run(specs, check=True)
+    elapsed = time.perf_counter() - started
+    all_monotone = True
+    all_feasible = True
+    all_validated = True
+    for name, result in zip(names, results):
+        row = result.value
+        document["circuits"][name] = row
+        all_monotone = all_monotone and row["monotone"]
+        all_feasible = all_feasible and row["feasible_floors"] > 0
+        all_validated = all_validated and row["all_validated"]
+    document["all_monotone"] = all_monotone
+    document["all_feasible"] = all_feasible
+    document["all_validated"] = all_validated
+    document["passed"] = all_monotone and all_feasible and all_validated
+    document["parallel"] = summarize_run(runner, results, elapsed)
+    return document
+
+
+def _print_document(document: dict) -> None:
+    for name, row in document["circuits"].items():
+        verdict = "monotone" if row["monotone"] else "NOT MONOTONE"
+        print(f"\n== {name}: {row['description']}  [{verdict}]")
+        for point in row["points"]:
+            if point["feasible"]:
+                mc = point["mc_snr_db"]
+                mc_txt = f" mc={mc:5.1f}dB {'ok' if point['mc_validated'] else 'BELOW FLOOR'}"
+                print(
+                    f"  floor {point['snr_floor_db']:5.1f}dB  cost {point['cost']:8.1f}  "
+                    f"snr {point['snr_db']:5.1f}dB  bits {point['total_bits']:4d}{mc_txt}"
+                )
+            else:
+                print(f"  floor {point['snr_floor_db']:5.1f}dB  infeasible")
+        print(
+            f"  {row['analyzer_calls']} analyzer calls, {row['batched_sweeps']} batched "
+            f"sweeps, {row['fallback_probes']} fallback probes, "
+            f"{row['total_runtime_s'] * 1e3:.1f}ms"
+        )
+    parallel = document["parallel"]
+    print(
+        f"\n{parallel['jobs']} jobs on {parallel['workers']} worker(s) "
+        f"[{parallel['backend']}]: wall {parallel['wall_s']:.2f}s, "
+        f"serial estimate {parallel['serial_estimate_s']:.2f}s "
+        f"({parallel['parallel_speedup']:.2f}x)"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUTPUT, help="output JSON path")
+    parser.add_argument(
+        "--floor",
+        action="append",
+        type=float,
+        dest="floors",
+        help=f"SNR floor in dB (repeatable; default {list(DEFAULT_FLOORS)})",
+    )
+    parser.add_argument("--strategy", default="greedy", help="uniform / greedy / anneal")
+    parser.add_argument("--method", default="ia", help="ia / aa / taylor / sna")
+    parser.add_argument("--engine", choices=list(ENGINES), default="batched")
+    parser.add_argument("--margin", type=float, default=1.0, dest="margin_db")
+    parser.add_argument("--horizon", type=int, default=6)
+    parser.add_argument("--bins", type=int, default=16)
+    parser.add_argument("--max-word-length", type=int, default=28)
+    parser.add_argument("--samples", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--anneal-iterations", type=int, default=120)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-parallel shard count (1 = serial; results are identical)",
+    )
+    parser.add_argument(
+        "--circuit",
+        action="append",
+        choices=list(CIRCUITS),
+        help="restrict to specific circuits (repeatable)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, fast configuration for CI smoke runs (two floors, "
+        "fewer Monte-Carlo samples)",
+    )
+    args = parser.parse_args(argv)
+
+    floors = args.floors or list(DEFAULT_FLOORS)
+    if args.smoke:
+        args.samples = min(args.samples, 2_000)
+        args.bins = min(args.bins, 8)
+        args.horizon = min(args.horizon, 4)
+        args.anneal_iterations = min(args.anneal_iterations, 50)
+        if not args.floors:
+            floors = [50.0, 60.0]
+
+    document = run_pareto_benchmarks(
+        circuits=args.circuit,
+        floors=floors,
+        strategy=args.strategy,
+        method=args.method,
+        engine=args.engine,
+        margin_db=args.margin_db,
+        horizon=args.horizon,
+        bins=args.bins,
+        max_word_length=args.max_word_length,
+        mc_samples=args.samples,
+        seed=args.seed,
+        anneal_iterations=args.anneal_iterations,
+        workers=args.workers,
+    )
+
+    _print_document(document)
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(document, indent=2) + "\n")
+    print(
+        f"\nwrote {out_path} (all_monotone={document['all_monotone']}, "
+        f"all_feasible={document['all_feasible']}, "
+        f"all_validated={document['all_validated']})"
+    )
+    return 0 if document["passed"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,22 @@ Measures, per circuit x analysis method:
   wall-clock (``time.perf_counter``) and CPU (``time.process_time``)
   terms, because shared CI runners make wall clocks noisy;
 * **end-to-end optimizer wall time** — ``greedy.optimize()`` with the
-  incremental evaluator vs ``use_incremental=False``.
+  incremental engine vs the from-scratch (``engine="fresh"``) evaluator;
+* **batched equivalence** — the same perturbations priced in one
+  :class:`~repro.analysis.batched.BatchedAnalyzer` array pass vs the
+  from-scratch report.  IA compiles to the vectorized program and must
+  match **exactly** (relative error 0); other methods route through the
+  incremental fallback, so they inherit the ``1e-9`` AA tolerance;
+* **batched greedy inner-loop speedup** (IA only — the method with a
+  compiled vector path) — the batched greedy descent is run while
+  logging every ``price_moves`` sweep; the logged sweeps are then
+  replayed both through the batched engine and as the per-move
+  incremental probes they replaced.  The ratio is the speedup of
+  pricing the greedy frontier, gated on the wide gate circuits
+  (``BATCHED_GATE_CIRCUITS``): at least ``BATCHED_GATE_QUORUM`` of them
+  must reach ``--min-batched-speedup`` (narrow circuits offer too few
+  moves per sweep to amortize an array pass, so the gate tracks the
+  circuits the engine exists for).
 
 Each (circuit x method) pair is one job sharded through
 :class:`~repro.jobs.runner.JobRunner` (``--workers N``); per-job seeds
@@ -61,8 +76,11 @@ import time
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.batched import BatchedAnalyzer
 from repro.analysis.incremental import IncrementalAnalyzer
 from repro.benchmarks.circuits import CIRCUITS, get_circuit
+from repro.config import OptimizeConfig
+from repro.errors import NoiseModelError
 from repro.jobs import JobRunner, JobSpec, derive_seed, summarize_run
 from repro.noisemodel.analyzer import ANALYSIS_METHODS, DatapathNoiseAnalyzer
 from repro.noisemodel.assignment import ensure_range_coverage
@@ -75,6 +93,16 @@ DEFAULT_OUTPUT = "BENCH_perf.json"
 
 #: Circuits whose inner-loop speedup is exit-gated.
 GATE_CIRCUITS = ("fft_butterfly", "matmul2")
+
+#: Circuits whose *batched* greedy inner-loop speedup is exit-gated —
+#: the designs with enough simultaneous one-bit shaves per descent step
+#: for one array pass to amortize (fft_butterfly averages ~4 moves per
+#: sweep, too narrow to beat per-move incremental probes).
+BATCHED_GATE_CIRCUITS = ("iir_biquad", "matmul2", "rms_normalize")
+
+#: How many of the batched gate circuits must reach the floor (one slow
+#: shared-runner outlier should not fail the build).
+BATCHED_GATE_QUORUM = 2
 
 #: Speedup metrics the gate can run on.
 GATE_METRICS = ("wall", "cpu")
@@ -109,8 +137,18 @@ def _perturbations(problem: OptimizationProblem, trials: int, seed: int) -> list
 
 def _check_equivalence(
     problem: OptimizationProblem, method: str, trials: int, seed: int
-) -> tuple[bool, float]:
-    """Incremental vs from-scratch reports on random perturbations."""
+) -> tuple[bool, float, bool, float]:
+    """Incremental and batched engines vs from-scratch reports.
+
+    The same random perturbations are analyzed three ways: by the
+    incremental engine (field-by-field comparison against the
+    from-scratch analyzer, ``EQUIV_RTOL``) and by one
+    :class:`BatchedAnalyzer` array pass (noise-power comparison; IA runs
+    the compiled vector program and must match with relative error
+    exactly 0, other methods route through the incremental fallback and
+    inherit the tolerance).  Returns ``(incremental_ok, incremental_worst,
+    batched_ok, batched_worst)``.
+    """
     circuit_graph = problem.graph
     baseline = problem.uniform(12)
     engine = IncrementalAnalyzer(
@@ -120,9 +158,23 @@ def _check_equivalence(
         horizon=problem.horizon,
         bins=problem.bins,
     )
+    batched = BatchedAnalyzer(
+        circuit_graph,
+        baseline,
+        problem.input_ranges,
+        horizon=problem.horizon,
+        bins=problem.bins,
+        method=method,
+        ranges=problem.ranges,
+    )
+    candidates = _perturbations(problem, trials, seed)
+    batched_noise = batched.price(candidates, method=method, output=problem.output)
+    batched_rtol = 0.0 if method == "ia" else EQUIV_RTOL
     worst = 0.0
+    batched_worst = 0.0
     ok = True
-    for index, assignment in enumerate(_perturbations(problem, trials, seed)):
+    batched_ok = True
+    for index, assignment in enumerate(candidates):
         got = engine.analyze(
             assignment, method, output=problem.output, commit=bool(index % 2)
         )
@@ -144,7 +196,10 @@ def _check_equivalence(
             worst = max(worst, err)
             ok = ok and err <= EQUIV_RTOL
         ok = ok and got.source_count == want.source_count
-    return ok, worst
+        batched_err = _rel_err(float(batched_noise[index]), want.noise_power)
+        batched_worst = max(batched_worst, batched_err)
+        batched_ok = batched_ok and batched_err <= batched_rtol
+    return ok, worst, batched_ok, batched_worst
 
 
 def _greedy_inner_loop(
@@ -164,7 +219,11 @@ def _greedy_inner_loop(
     probes = 0
     for _ in range(reps):
         problem = OptimizationProblem.from_circuit(
-            circuit, snr_floor_db, method=method, horizon=horizon, bins=bins, margin_db=1.0
+            circuit,
+            snr_floor_db,
+            config=OptimizeConfig(
+                method=method, snr_floor_db=snr_floor_db, margin_db=1.0, horizon=horizon, bins=bins
+            ),
         )
         trace: list = []
         feasible, word_length, _last = _sweep_uniform(problem, trace)
@@ -207,21 +266,105 @@ def _greedy_inner_loop(
     }
 
 
+def _batched_inner_loop(
+    circuit, snr_floor_db: float, horizon: int, bins: int, reps: int
+) -> dict:
+    """Batched greedy frontier pricing vs the incremental probes it replaced.
+
+    Runs the batched greedy descent once (deterministic) while logging
+    every ``price_moves`` sweep, then replays the logged sweeps ``reps``
+    times through the batched engine and as the equivalent per-move
+    incremental probes, taking the min of each.  IA only: other methods
+    have no compiled vector program, so their "batched" path *is* the
+    incremental probe loop and the ratio is 1 by construction.
+    """
+    config = OptimizeConfig(
+        engine="batched",
+        method="ia",
+        snr_floor_db=snr_floor_db,
+        margin_db=1.0,
+        horizon=horizon,
+        bins=bins,
+    )
+    problem = OptimizationProblem.from_circuit(circuit, snr_floor_db, config=config)
+    trace: list = []
+    feasible, word_length, _last = _sweep_uniform(problem, trace)
+    if feasible is None or word_length is None:
+        raise RuntimeError(f"{circuit.name}/ia: no feasible uniform design")
+    start = problem.evaluate_uniform(min(word_length + 2, problem.max_word_length))
+    sweeps: list = []
+    original_price_moves = problem.price_moves
+    problem.price_moves = lambda assignment, moves: (  # type: ignore[method-assign]
+        sweeps.append((assignment, list(moves))) or original_price_moves(assignment, moves)
+    )
+    GreedyBitStealingOptimizer()._descend(problem, start, trace, "bench")
+    del problem.price_moves
+    engine = problem.batched_engine()
+    probe_engine = IncrementalAnalyzer(
+        problem.graph,
+        problem.uniform(12),
+        problem.input_ranges,
+        horizon=problem.horizon,
+        bins=problem.bins,
+    )
+    batched_times: list[float] = []
+    batched_cpu_times: list[float] = []
+    probe_times: list[float] = []
+    probe_cpu_times: list[float] = []
+    probes = 0
+    for _ in range(reps):
+        started = time.perf_counter()
+        started_cpu = time.process_time()
+        for assignment, moves in sweeps:
+            engine.price_moves(assignment, moves, method="ia", output=problem.output)
+        batched_times.append(time.perf_counter() - started)
+        batched_cpu_times.append(time.process_time() - started_cpu)
+        probes = 0
+        started = time.perf_counter()
+        started_cpu = time.process_time()
+        for assignment, moves in sweeps:
+            for node, new_frac in moves:
+                shaved = assignment.with_fractional_bits(node, new_frac)
+                try:
+                    shaved = ensure_range_coverage(shaved, problem.ranges)
+                except NoiseModelError:
+                    continue  # price_moves prices this lane inf; no probe to replay
+                probe_engine.noise_power(shaved, "ia", output=problem.output, commit=False)
+                probes += 1
+        probe_times.append(time.perf_counter() - started)
+        probe_cpu_times.append(time.process_time() - started_cpu)
+    batched_s = min(batched_times)
+    probe_s = min(probe_times)
+    batched_cpu_s = min(batched_cpu_times)
+    probe_cpu_s = min(probe_cpu_times)
+    return {
+        "sweeps": len(sweeps),
+        "moves": sum(len(moves) for _, moves in sweeps),
+        "probes": probes,
+        "batched_s": batched_s,
+        "incremental_s": probe_s,
+        "batched_cpu_s": batched_cpu_s,
+        "incremental_cpu_s": probe_cpu_s,
+        "speedup": probe_s / batched_s if batched_s > 0 else float("inf"),
+        "speedup_cpu": probe_cpu_s / batched_cpu_s if batched_cpu_s > 0 else float("inf"),
+    }
+
+
 def _greedy_end_to_end(
     circuit, method: str, snr_floor_db: float, horizon: int, bins: int
 ) -> dict:
     """Wall time of the whole greedy optimization, both evaluator paths."""
     timings = {}
-    for label, use_incremental in (("incremental", True), ("full", False)):
-        problem = OptimizationProblem.from_circuit(
-            circuit,
-            snr_floor_db,
+    for label, engine in (("incremental", "incremental"), ("full", "fresh")):
+        config = OptimizeConfig(
             method=method,
+            snr_floor_db=snr_floor_db,
+            margin_db=1.0,
             horizon=horizon,
             bins=bins,
-            margin_db=1.0,
-            use_incremental=use_incremental,
+            engine=engine,
         )
+        problem = OptimizationProblem.from_circuit(circuit, snr_floor_db, config=config)
         started = time.perf_counter()
         result = GreedyBitStealingOptimizer().optimize(problem)
         timings[label] = time.perf_counter() - started
@@ -255,10 +398,21 @@ def _perf_job(
     """
     circuit = get_circuit(circuit_name)
     probe_problem = OptimizationProblem.from_circuit(
-        circuit, snr_floor_db, method="ia", horizon=horizon, bins=bins, margin_db=1.0
+        circuit,
+        snr_floor_db,
+        config=OptimizeConfig(
+            method="ia", snr_floor_db=snr_floor_db, margin_db=1.0, horizon=horizon, bins=bins
+        ),
     )
-    equivalent, max_err = _check_equivalence(probe_problem, method, trials=equiv_trials, seed=seed)
+    equivalent, max_err, batched_equivalent, batched_max_err = _check_equivalence(
+        probe_problem, method, trials=equiv_trials, seed=seed
+    )
     inner = _greedy_inner_loop(circuit, method, snr_floor_db, horizon, bins, reps)
+    batched = (
+        _batched_inner_loop(circuit, snr_floor_db, horizon, bins, reps)
+        if method == "ia"
+        else None
+    )
     e2e = _greedy_end_to_end(circuit, method, snr_floor_db, horizon, bins)
     # Bounds of the analysis at the uniform baseline, so compare_bench
     # can diff widths across revisions too.
@@ -283,8 +437,11 @@ def _perf_job(
             "inner_loop_speedup_cpu": inner["inner_loop_speedup_cpu"],
             "equivalent": equivalent,
             "max_rel_err": max_err,
+            "batched_equivalent": batched_equivalent,
+            "batched_max_rel_err": batched_max_err,
             "seed": seed,
         },
+        "batched_inner_loop": batched,
         "greedy_end_to_end": e2e,
     }
 
@@ -298,6 +455,7 @@ def run_perf_benchmarks(
     reps: int = 7,
     equiv_trials: int = 12,
     min_speedup: float = 5.0,
+    min_batched_speedup: float = 3.0,
     seed: int = 0,
     gate_metric: str = "wall",
     workers: int = 1,
@@ -306,6 +464,7 @@ def run_perf_benchmarks(
     if gate_metric not in GATE_METRICS:
         raise ValueError(f"unknown gate_metric {gate_metric!r}; choose from {GATE_METRICS}")
     names = list(circuits) if circuits else list(CIRCUITS)
+    batched_gate = [name for name in BATCHED_GATE_CIRCUITS if name in names]
     document: dict = {
         "suite": "incremental-performance",
         "config": {
@@ -316,10 +475,13 @@ def run_perf_benchmarks(
             "equiv_trials": equiv_trials,
             "equiv_rtol": EQUIV_RTOL,
             "min_speedup": min_speedup,
+            "min_batched_speedup": min_batched_speedup,
             "gate_metric": gate_metric,
             "seed": seed,
             "methods": list(methods),
             "gate_circuits": [name for name in GATE_CIRCUITS if name in names],
+            "batched_gate_circuits": batched_gate,
+            "batched_gate_quorum": min(BATCHED_GATE_QUORUM, len(batched_gate)),
         },
         "platform": {
             "python": platform.python_version(),
@@ -354,12 +516,15 @@ def run_perf_benchmarks(
     by_pair = {pair: result for pair, result in zip(pairs, job_results)}
 
     equivalence_ok = True
+    batched_equivalence_ok = True
     speedup_ok = True
+    batched_passes = 0
     for name in names:
         circuit = get_circuit(name)
         results: dict = {}
         enclosure: dict = {}
         greedy: dict = {}
+        batched_inner = None
         best = {"wall": 0.0, "cpu": 0.0}
         best_method = {"wall": None, "cpu": None}
         circuit_wall = 0.0
@@ -367,9 +532,12 @@ def run_perf_benchmarks(
             job = by_pair[(name, method)]
             row = job.value["result"]
             equivalence_ok = equivalence_ok and row["equivalent"]
+            batched_equivalence_ok = batched_equivalence_ok and row["batched_equivalent"]
             results[method] = row
-            enclosure[method] = row["equivalent"]
+            enclosure[method] = row["equivalent"] and row["batched_equivalent"]
             greedy[method] = job.value["greedy_end_to_end"]
+            if job.value.get("batched_inner_loop") is not None:
+                batched_inner = job.value["batched_inner_loop"]
             circuit_wall += job.wall_s
             for metric, key in (("wall", "inner_loop_speedup"), ("cpu", "inner_loop_speedup_cpu")):
                 if row[key] > best[metric]:
@@ -378,22 +546,43 @@ def run_perf_benchmarks(
         gated = name in GATE_CIRCUITS
         if gated:
             speedup_ok = speedup_ok and best[gate_metric] >= min_speedup
+        batched_gated = name in batched_gate and batched_inner is not None
+        if batched_gated:
+            batched_metric = (
+                batched_inner["speedup"] if gate_metric == "wall" else batched_inner["speedup_cpu"]
+            )
+            if batched_metric >= min_batched_speedup:
+                batched_passes += 1
         document["circuits"][name] = {
             "description": circuit.description,
             "tags": list(circuit.tags),
             "results": results,
             "enclosure": enclosure,
             "greedy_end_to_end": greedy,
+            "batched_inner_loop": batched_inner,
             "inner_loop_speedup": best["wall"],
             "inner_loop_method": best_method["wall"],
             "inner_loop_speedup_cpu": best["cpu"],
             "inner_loop_method_cpu": best_method["cpu"],
             "gated": gated,
+            "batched_gated": batched_gated,
             "total_runtime_s": circuit_wall,
         }
+    # A run without "ia" never measures the batched inner loop (no other
+    # method compiles to the vector program), so it has nothing to gate.
+    batched_speedup_ok = (
+        batched_passes >= min(BATCHED_GATE_QUORUM, len(batched_gate))
+        if "ia" in methods
+        else True
+    )
     document["equivalence_ok"] = equivalence_ok
+    document["batched_equivalence_ok"] = batched_equivalence_ok
     document["speedup_ok"] = speedup_ok
-    document["passed"] = equivalence_ok and speedup_ok
+    document["batched_speedup_ok"] = batched_speedup_ok
+    document["batched_gate_passes"] = batched_passes
+    document["passed"] = (
+        equivalence_ok and batched_equivalence_ok and speedup_ok and batched_speedup_ok
+    )
     document["parallel"] = summarize_run(runner, job_results, elapsed)
     return document
 
@@ -403,13 +592,15 @@ def _print_document(document: dict) -> None:
         print(f"\n== {name}: {entry['description']}")
         for method, row in entry["results"].items():
             verdict = "ok" if row["equivalent"] else "NOT EQUIVALENT"
+            batched_verdict = "ok" if row["batched_equivalent"] else "NOT EQUIVALENT"
             print(
                 f"  {method:6s} inner-loop {row['full_runtime_s'] * 1e3:8.2f}ms -> "
                 f"{row['runtime_s'] * 1e3:7.2f}ms ({row['inner_loop_speedup']:6.2f}x wall, "
                 f"{row['inner_loop_speedup_cpu']:6.2f}x cpu, "
                 f"{row['probes']} probes)  e2e "
                 f"{entry['greedy_end_to_end'][method]['speedup']:5.2f}x  "
-                f"equiv {verdict} (max rel err {row['max_rel_err']:.1e})"
+                f"equiv {verdict} (max rel err {row['max_rel_err']:.1e})  "
+                f"batched {batched_verdict} (max rel err {row['batched_max_rel_err']:.1e})"
             )
         tag = " [GATED]" if entry["gated"] else ""
         print(
@@ -417,6 +608,15 @@ def _print_document(document: dict) -> None:
             f"({entry['inner_loop_method']}), {entry['inner_loop_speedup_cpu']:.2f}x cpu "
             f"({entry['inner_loop_method_cpu']}){tag}"
         )
+        batched = entry.get("batched_inner_loop")
+        if batched is not None:
+            batched_tag = " [GATED]" if entry["batched_gated"] else ""
+            print(
+                f"  -> batched frontier pricing {batched['incremental_s'] * 1e3:8.2f}ms -> "
+                f"{batched['batched_s'] * 1e3:7.2f}ms ({batched['speedup']:.2f}x wall, "
+                f"{batched['speedup_cpu']:.2f}x cpu; {batched['sweeps']} sweeps, "
+                f"{batched['moves']} moves){batched_tag}"
+            )
     parallel = document["parallel"]
     print(
         f"\n{parallel['jobs']} jobs on {parallel['workers']} worker(s) "
@@ -435,6 +635,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--reps", type=int, default=7, help="timing repetitions (min taken)")
     parser.add_argument("--equiv-trials", type=int, default=12)
     parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument(
+        "--min-batched-speedup",
+        type=float,
+        default=3.0,
+        help="floor of the batched frontier-pricing speedup gate",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--gate-metric",
@@ -474,6 +680,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.reps = min(args.reps, 3)
         args.equiv_trials = min(args.equiv_trials, 6)
         args.min_speedup = min(args.min_speedup, 2.0)
+        args.min_batched_speedup = min(args.min_batched_speedup, 1.5)
         if args.gate_metric is None:
             args.gate_metric = "cpu"
     if args.gate_metric is None:
@@ -488,6 +695,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         reps=args.reps,
         equiv_trials=args.equiv_trials,
         min_speedup=args.min_speedup,
+        min_batched_speedup=args.min_batched_speedup,
         seed=args.seed,
         gate_metric=args.gate_metric,
         workers=args.workers,
@@ -498,7 +706,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     out_path.write_text(json.dumps(document, indent=2) + "\n")
     print(
         f"\nwrote {out_path} (equivalence_ok={document['equivalence_ok']}, "
-        f"speedup_ok={document['speedup_ok']})"
+        f"batched_equivalence_ok={document['batched_equivalence_ok']}, "
+        f"speedup_ok={document['speedup_ok']}, "
+        f"batched_speedup_ok={document['batched_speedup_ok']})"
     )
     return 0 if document["passed"] else 1
 

@@ -1,4 +1,4 @@
-"""Compare two ``bench_analysis`` JSON reports for CI regression gating.
+"""Compare two benchmark JSON reports for CI regression gating.
 
 Reads a *base* report (the PR's merge-base) and a *head* report (the PR
 itself), lines up circuits and methods, and renders a markdown diff table
@@ -16,6 +16,14 @@ of bound tightness (enclosure width) and runtime.  The comparison fails
 
 Width changes are reported but not gated: tightening and (sound)
 loosening are quality signals, not correctness regressions.
+
+``BENCH_pareto.json`` documents (``suite == "pareto-front"``) are
+detected automatically and diffed point-by-point instead: the head fails
+when a floor's design got **dominated** — more expensive than the base
+design at the same floor — or when a floor that was feasible
+(respectively Monte-Carlo validated) at base no longer is, or when a
+circuit or floor disappeared.  Cost *improvements* are reported, never
+gated.
 
 Usage::
 
@@ -36,7 +44,13 @@ import os
 from pathlib import Path
 from typing import List, Sequence, Tuple
 
-__all__ = ["compare_documents", "render_markdown", "main"]
+__all__ = [
+    "compare_documents",
+    "compare_pareto_documents",
+    "render_markdown",
+    "render_pareto_markdown",
+    "main",
+]
 
 #: Methods whose bounds are sound enclosures and therefore gated.
 GATED_METHODS = ("ia", "aa", "taylor")
@@ -128,6 +142,85 @@ def compare_documents(
     return rows, failures
 
 
+def compare_pareto_documents(
+    base: dict,
+    head: dict,
+    cost_tolerance: float = 1e-9,
+) -> Tuple[List[dict], List[str]]:
+    """Diff two ``pareto-front`` documents point by point.
+
+    A head point *dominates* regression-wise when its cost exceeds the
+    base cost at the same floor by more than ``cost_tolerance``
+    (relative) — the curve got strictly worse somewhere the base already
+    solved.  Feasibility and Monte-Carlo validation may only flip
+    upward; a circuit or floor present at base must exist at head.
+    """
+    rows: List[dict] = []
+    failures: List[str] = []
+    base_circuits = base.get("circuits", {})
+    head_circuits = head.get("circuits", {})
+
+    for circuit, base_entry in base_circuits.items():
+        head_entry = head_circuits.get(circuit)
+        if head_entry is None:
+            failures.append(f"circuit {circuit!r} present at base is missing at head")
+            continue
+        head_points = {
+            float(point["snr_floor_db"]): point for point in head_entry.get("points", [])
+        }
+        for base_point in base_entry.get("points", []):
+            floor = float(base_point["snr_floor_db"])
+            head_point = head_points.get(floor)
+            if head_point is None:
+                failures.append(f"{circuit}: floor {floor:g}dB present at base is missing at head")
+                continue
+            base_cost = float(base_point["cost"])
+            head_cost = float(head_point["cost"])
+            dominated = (
+                bool(base_point["feasible"])
+                and bool(head_point["feasible"])
+                and head_cost > base_cost * (1.0 + cost_tolerance)
+            )
+            if dominated:
+                failures.append(
+                    f"{circuit} @ {floor:g}dB: dominated regression — cost "
+                    f"{base_cost:.1f} -> {head_cost:.1f} ({_ratio(head_cost, base_cost):.3f}x)"
+                )
+            lost_feasibility = bool(base_point["feasible"]) and not head_point["feasible"]
+            if lost_feasibility:
+                failures.append(
+                    f"{circuit} @ {floor:g}dB: feasible at base, infeasible at head"
+                )
+            lost_validation = (
+                base_point.get("mc_validated") is True
+                and head_point.get("mc_validated") is False
+            )
+            if lost_validation:
+                failures.append(
+                    f"{circuit} @ {floor:g}dB: Monte-Carlo validated at base, "
+                    "below floor at head"
+                )
+            rows.append(
+                {
+                    "circuit": circuit,
+                    "snr_floor_db": floor,
+                    "base_cost": base_cost,
+                    "head_cost": head_cost,
+                    "cost_ratio": _ratio(head_cost, base_cost),
+                    "base_feasible": bool(base_point["feasible"]),
+                    "head_feasible": bool(head_point["feasible"]),
+                    "base_mc_validated": base_point.get("mc_validated"),
+                    "head_mc_validated": head_point.get("mc_validated"),
+                    "dominated": dominated,
+                    "lost_feasibility": lost_feasibility,
+                    "lost_validation": lost_validation,
+                }
+            )
+        if base_entry.get("monotone") is True and head_entry.get("monotone") is False:
+            failures.append(f"{circuit}: curve was monotone at base, is not at head")
+    return rows, failures
+
+
 def render_markdown(rows: List[dict], failures: List[str]) -> str:
     """Render the diff as a GitHub-flavored markdown job summary."""
     lines = ["## Benchmark regression: base vs head", ""]
@@ -159,6 +252,38 @@ def render_markdown(rows: List[dict], failures: List[str]) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_pareto_markdown(rows: List[dict], failures: List[str]) -> str:
+    """Render the Pareto diff as a GitHub-flavored markdown job summary."""
+    lines = ["## Pareto-front regression: base vs head", ""]
+    if failures:
+        lines.append("**FAILED:**")
+        lines.extend(f"- {message}" for message in failures)
+    else:
+        lines.append("**PASSED** — no dominated points, no feasibility regressions.")
+    lines.append("")
+    lines.append("| circuit | floor (dB) | base cost | head cost | ratio | verdict |")
+    lines.append("|---|---|---|---|---|---|")
+    for row in rows:
+        if row["dominated"]:
+            verdict = "DOMINATED"
+        elif row["lost_feasibility"]:
+            verdict = "LOST FEASIBILITY"
+        elif row["lost_validation"]:
+            verdict = "LOST MC VALIDATION"
+        elif not row["base_feasible"] and row["head_feasible"]:
+            verdict = "newly feasible"
+        elif row["head_cost"] < row["base_cost"]:
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        lines.append(
+            f"| {row['circuit']} | {row['snr_floor_db']:g} "
+            f"| {row['base_cost']:.1f} | {row['head_cost']:.1f} "
+            f"| {row['cost_ratio']:.3f} | {verdict} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("base", help="benchmark JSON of the merge-base")
@@ -182,13 +307,24 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     base = json.loads(Path(args.base).read_text())
     head = json.loads(Path(args.head).read_text())
-    rows, failures = compare_documents(
-        base,
-        head,
-        max_runtime_ratio=args.max_runtime_ratio,
-        runtime_floor=args.runtime_floor,
-    )
-    markdown = render_markdown(rows, failures)
+    base_suite = base.get("suite")
+    head_suite = head.get("suite")
+    if {base_suite, head_suite} == {"pareto-front"}:
+        rows, failures = compare_pareto_documents(base, head)
+        markdown = render_pareto_markdown(rows, failures)
+    elif "pareto-front" in (base_suite, head_suite):
+        rows, failures = [], [
+            f"suite mismatch: base is {base_suite!r}, head is {head_suite!r}"
+        ]
+        markdown = render_pareto_markdown(rows, failures)
+    else:
+        rows, failures = compare_documents(
+            base,
+            head,
+            max_runtime_ratio=args.max_runtime_ratio,
+            runtime_floor=args.runtime_floor,
+        )
+        markdown = render_markdown(rows, failures)
     print(markdown)
     if args.summary:
         with open(args.summary, "a") as handle:

@@ -4,6 +4,7 @@ Dispatches the library's workloads without writing driver scripts::
 
     python -m repro analyze quadratic fir4 --workers 2
     python -m repro optimize fir4 --snr-floor 60 --strategy greedy
+    python -m repro pareto fir4 --floor 45 --floor 55 --floor 65
     python -m repro bench optimize -- --smoke --workers 4
 
 Subcommands
@@ -16,10 +17,21 @@ Subcommands
 ``optimize``
     Word-length optimization of one circuit under an SNR floor, with
     sharded Monte-Carlo validation of the returned design.
+``pareto``
+    Sweep one circuit over a list of SNR floors in a single call: the
+    floors are solved tightest-first with warm-started, shared state
+    (see :func:`repro.optimize.pareto.pareto_front`), so the printed
+    cost-vs-SNR curve is monotone by construction.
 ``bench``
     Dispatch to the full benchmark drivers (``analysis`` / ``optimize``
-    / ``perf`` / ``compare``), forwarding every remaining argument, so
-    CI and humans spell benchmark invocations exactly one way.
+    / ``perf`` / ``pareto`` / ``compare``), forwarding every remaining
+    argument, so CI and humans spell benchmark invocations exactly one
+    way.
+
+Analysis and optimization knobs are carried by the frozen
+:class:`~repro.config.AnalysisConfig` / :class:`~repro.config.OptimizeConfig`
+objects; the CLI builds one from its flags and hands it down, which is
+the same calling convention library users follow.
 """
 
 from __future__ import annotations
@@ -30,11 +42,15 @@ from pathlib import Path
 from typing import Sequence
 
 from repro import __version__
+from repro.config import ENGINES
 
 __all__ = ["main"]
 
 #: Benchmark drivers reachable through ``repro bench <suite>``.
-BENCH_SUITES = ("analysis", "optimize", "perf", "compare")
+BENCH_SUITES = ("analysis", "optimize", "perf", "pareto", "compare")
+
+#: Default SNR floors of the ``repro pareto`` sweep (dB).
+DEFAULT_PARETO_FLOORS = (45.0, 50.0, 55.0, 60.0, 65.0)
 
 
 def _add_analyze_parser(sub) -> None:
@@ -78,15 +94,55 @@ def _add_optimize_parser(sub) -> None:
     parser.add_argument("--anneal-iterations", type=int, default=120)
     parser.add_argument("--cost-table", default="lut4")
     parser.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="incremental",
+        help="noise-analysis engine the strategy's inner loop uses",
+    )
+    parser.add_argument(
         "--workers", type=int, default=1, help="Monte-Carlo validation shard workers"
     )
     parser.add_argument("--out", default=None, help="also write the result JSON here")
 
 
+def _add_pareto_parser(sub) -> None:
+    parser = sub.add_parser(
+        "pareto",
+        help="cost-vs-SNR Pareto sweep of one circuit in one call",
+        description="Solve one benchmark circuit at every requested SNR "
+        "floor, sharing analysis state and warm starts across floors, "
+        "and print the (monotone) cost-vs-SNR front.",
+    )
+    parser.add_argument("circuit", metavar="CIRCUIT", help="benchmark circuit name")
+    parser.add_argument(
+        "--floor",
+        action="append",
+        type=float,
+        dest="floors",
+        help=f"SNR floor in dB (repeatable; default {list(DEFAULT_PARETO_FLOORS)})",
+    )
+    parser.add_argument("--margin", type=float, default=1.0, dest="margin_db")
+    parser.add_argument("--strategy", default="greedy", help="uniform / greedy / anneal")
+    parser.add_argument("--method", default="aa", help="ia / aa / taylor / sna")
+    parser.add_argument("--horizon", type=int, default=6)
+    parser.add_argument("--bins", type=int, default=16)
+    parser.add_argument("--max-word-length", type=int, default=28)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--anneal-iterations", type=int, default=120)
+    parser.add_argument("--cost-table", default="lut4")
+    parser.add_argument(
+        "--engine",
+        choices=list(ENGINES),
+        default="batched",
+        help="noise-analysis engine (default: batched — the sweep's point)",
+    )
+    parser.add_argument("--out", default=None, help="also write the front JSON here")
+
+
 def _add_bench_parser(sub) -> None:
     parser = sub.add_parser(
         "bench",
-        help="run a full benchmark driver (analysis / optimize / perf / compare)",
+        help="run a full benchmark driver (analysis / optimize / perf / pareto / compare)",
         description="Forward the remaining arguments to a benchmark "
         "driver; exit code is the driver's gate.",
     )
@@ -126,34 +182,44 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if document["all_enclosed"] is False else 0
 
 
-def _cmd_optimize(args: argparse.Namespace) -> int:
-    from repro.benchmarks.circuits import CIRCUITS, get_circuit
-    from repro.optimize import COST_TABLES, HardwareCostModel, OptimizationProblem, get_optimizer
+def _optimize_config(args: argparse.Namespace, engine: str):
+    """One ``OptimizeConfig`` from the optimize/pareto flag namespace."""
+    from repro.config import OptimizeConfig
+    from repro.optimize import COST_TABLES
 
-    if args.circuit not in CIRCUITS:
-        raise SystemExit(f"unknown circuit {args.circuit!r}; available: {', '.join(CIRCUITS)}")
     if args.cost_table not in COST_TABLES:
         raise SystemExit(
             f"unknown cost table {args.cost_table!r}; available: {', '.join(COST_TABLES)}"
         )
-    circuit = get_circuit(args.circuit)
-    problem = OptimizationProblem.from_circuit(
-        circuit,
-        args.snr_floor_db,
+    return OptimizeConfig(
+        strategy=args.strategy,
         method=args.method,
-        cost_model=HardwareCostModel(COST_TABLES[args.cost_table]),
+        snr_floor_db=args.snr_floor_db,
+        margin_db=args.margin_db,
+        cost_table=args.cost_table,
+        engine=engine,
         horizon=args.horizon,
         bins=args.bins,
-        margin_db=args.margin_db,
         max_word_length=args.max_word_length,
-        mc_workers=args.workers,
     )
-    options = (
-        {"iterations": args.anneal_iterations, "seed": args.seed}
-        if args.strategy == "anneal"
-        else {}
-    )
-    result = get_optimizer(args.strategy, **options).optimize(problem)
+
+
+def _strategy_options(args: argparse.Namespace) -> dict:
+    if args.strategy == "anneal":
+        return {"iterations": args.anneal_iterations, "seed": args.seed}
+    return {}
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.benchmarks.circuits import CIRCUITS, get_circuit
+    from repro.optimize import OptimizationProblem, get_optimizer
+
+    if args.circuit not in CIRCUITS:
+        raise SystemExit(f"unknown circuit {args.circuit!r}; available: {', '.join(CIRCUITS)}")
+    circuit = get_circuit(args.circuit)
+    config = _optimize_config(args, args.engine).replace(mc_workers=args.workers)
+    problem = OptimizationProblem.from_circuit(circuit, args.snr_floor_db, config=config)
+    result = get_optimizer(args.strategy, **_strategy_options(args)).optimize(problem)
     print(result.summary())
     document = result.to_dict(include_trace=False)
     mc_validated = False
@@ -172,6 +238,34 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0 if result.feasible and mc_validated else 1
 
 
+def _cmd_pareto(args: argparse.Namespace) -> int:
+    from repro.benchmarks.circuits import CIRCUITS, get_circuit
+    from repro.optimize import OptimizationProblem
+
+    if args.circuit not in CIRCUITS:
+        raise SystemExit(f"unknown circuit {args.circuit!r}; available: {', '.join(CIRCUITS)}")
+    floors = args.floors or list(DEFAULT_PARETO_FLOORS)
+    args.snr_floor_db = max(floors)
+    circuit = get_circuit(args.circuit)
+    config = _optimize_config(args, args.engine)
+    problem = OptimizationProblem.from_circuit(circuit, args.snr_floor_db, config=config)
+    front = problem.pareto(floors, strategy=args.strategy, **_strategy_options(args))
+    print(front.summary())
+    monotone = front.is_monotone()
+    feasible = len(front.feasible_points)
+    print(
+        f"\n{feasible}/{len(front.points)} floors feasible; "
+        f"curve {'monotone' if monotone else 'NOT MONOTONE'}; "
+        f"{problem.analyzer_calls} analyzer calls, "
+        f"{problem.batched_calls} batched sweeps, "
+        f"{problem.fallback_probes} fallback probes"
+    )
+    if args.out:
+        Path(args.out).write_text(json.dumps(front.to_dict(), indent=2) + "\n")
+        print(f"wrote {args.out}")
+    return 0 if monotone and feasible > 0 else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     rest = list(args.rest)
     if rest and rest[0] == "--":
@@ -182,6 +276,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.benchmarks.bench_optimize import main as driver
     elif args.suite == "perf":
         from repro.benchmarks.bench_perf import main as driver
+    elif args.suite == "pareto":
+        from repro.benchmarks.bench_pareto import main as driver
     else:
         from repro.benchmarks.compare_bench import main as driver
     return int(driver(rest))
@@ -196,12 +292,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_analyze_parser(sub)
     _add_optimize_parser(sub)
+    _add_pareto_parser(sub)
     _add_bench_parser(sub)
     args = parser.parse_args(argv)
     if args.command == "analyze":
         return _cmd_analyze(args)
     if args.command == "optimize":
         return _cmd_optimize(args)
+    if args.command == "pareto":
+        return _cmd_pareto(args)
     return _cmd_bench(args)
 
 

@@ -1,0 +1,211 @@
+"""Frozen configuration objects for the public analysis / optimize API.
+
+Five PRs of organic growth left the library's entry points with three
+overlapping kwarg vocabularies: :class:`~repro.analysis.pipeline.NoiseAnalysisPipeline`
+took analyzer knobs directly, :class:`~repro.optimize.problem.OptimizationProblem`
+took a superset with different defaults, and every benchmark driver
+re-declared both as argparse flags.  This module is the single source of
+truth that replaces them:
+
+* :class:`AnalysisConfig` — how to *analyze* a circuit (word length,
+  unrolling horizon, SNA bins, which methods, Monte-Carlo budget).
+* :class:`OptimizeConfig` — how to *search* word lengths (strategy,
+  SNR floor, cost table, and which pricing engine evaluates candidates:
+  ``fresh`` full re-analysis, ``incremental`` cone re-propagation, or
+  ``batched`` whole-graph vectorized candidate pricing).
+
+Both are frozen dataclasses: hashable, comparable, safe to share between
+a pipeline, a problem and a benchmark driver without defensive copying.
+Derive variants with :meth:`AnalysisConfig.replace` /
+:meth:`OptimizeConfig.replace`.
+
+The old per-call kwargs survive for one release as deprecated aliases.
+Entry points collect them as :data:`UNSET`-defaulted keywords and call
+:func:`merge_deprecated_kwargs`, which warns once (``DeprecationWarning``
+naming every legacy kwarg used) and folds the values onto the config.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Any, Mapping, Tuple
+
+from repro.errors import NoiseModelError, OptimizationError
+
+__all__ = [
+    "AnalysisConfig",
+    "OptimizeConfig",
+    "ENGINES",
+    "UNSET",
+    "merge_deprecated_kwargs",
+]
+
+
+class _Unset:
+    """Sentinel distinguishing "kwarg not supplied" from a real ``None``."""
+
+    _instance: "_Unset | None" = None
+
+    def __new__(cls) -> "_Unset":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "UNSET"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Default value of every deprecated alias keyword: "not supplied".
+UNSET = _Unset()
+
+#: Candidate-evaluation engines an :class:`OptimizeConfig` can select.
+ENGINES = ("fresh", "incremental", "batched")
+
+
+def merge_deprecated_kwargs(
+    config: Any,
+    aliases: Mapping[str, Any],
+    *,
+    stacklevel: int = 3,
+) -> Any:
+    """Fold legacy keyword values onto ``config``, warning once.
+
+    ``aliases`` maps config field names to the values the caller passed;
+    entries equal to :data:`UNSET` are ignored.  When at least one legacy
+    kwarg was supplied, a single :class:`DeprecationWarning` naming all of
+    them is emitted and a new config with those fields replaced is
+    returned; otherwise ``config`` is returned unchanged.
+    """
+    supplied = {name: value for name, value in aliases.items() if value is not UNSET}
+    if not supplied:
+        return config
+    names = ", ".join(sorted(supplied))
+    warnings.warn(
+        f"keyword argument(s) {names} are deprecated; pass a "
+        f"{type(config).__name__} via 'config' instead "
+        f"(e.g. config={type(config).__name__}({names.split(', ')[0]}=...))",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return dataclasses.replace(config, **supplied)
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Everything a noise-analysis run needs besides the circuit itself.
+
+    Attributes
+    ----------
+    word_length:
+        Uniform word length used when no explicit assignment is given.
+    horizon:
+        Unrolling depth / simulated steps for sequential designs.
+    bins:
+        Histogram granularity of the SNA method.
+    methods:
+        Method subset to run (``None`` = all of
+        ``ia, aa, taylor, sna, montecarlo``).
+    mc_samples / seed / mc_workers:
+        Monte-Carlo validator budget, RNG seed, and shard workers
+        (``None`` keeps the legacy single-stream draw).
+    enclosure_tol:
+        Absolute slack when judging sampled-vs-analytic enclosure.
+    """
+
+    word_length: int = 12
+    horizon: int = 8
+    bins: int = 32
+    methods: Tuple[str, ...] | None = None
+    mc_samples: int = 20_000
+    seed: int | None = 0
+    mc_workers: int | None = None
+    enclosure_tol: float = 1e-12
+
+    def __post_init__(self) -> None:
+        if self.word_length < 2:
+            raise NoiseModelError(f"word_length must be >= 2, got {self.word_length}")
+        if self.horizon < 1:
+            raise NoiseModelError(f"horizon must be >= 1, got {self.horizon}")
+        if self.bins < 1:
+            raise NoiseModelError(f"bins must be >= 1, got {self.bins}")
+        if self.mc_samples < 1:
+            raise NoiseModelError(f"mc_samples must be >= 1, got {self.mc_samples}")
+        if self.methods is not None and not isinstance(self.methods, tuple):
+            # normalize lists/iterables so configs stay hashable
+            object.__setattr__(self, "methods", tuple(self.methods))
+
+    def replace(self, **changes: Any) -> "AnalysisConfig":
+        """A copy with ``changes`` applied (configs are immutable)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class OptimizeConfig:
+    """Everything a word-length search needs besides the circuit itself.
+
+    Attributes
+    ----------
+    strategy:
+        Search strategy registry name (``uniform`` / ``greedy`` /
+        ``anneal``).
+    method:
+        Noise-analysis method judging feasibility.
+    snr_floor_db / margin_db:
+        The constraint, and the analytic safety margin above it.
+    cost_table:
+        Named hardware cost table (see ``repro.optimize.COST_TABLES``);
+        an explicit ``cost_model`` argument always wins over this.
+    engine:
+        Candidate-evaluation engine: ``fresh`` rebuilds an analyzer per
+        candidate, ``incremental`` re-propagates changed cones, and
+        ``batched`` additionally compiles the graph into a vectorized
+        program that prices whole candidate batches in one array pass
+        (strategies fall back to the incremental engine wherever a
+        batched path does not apply — results are bit-identical).
+    horizon / bins / max_word_length / min_fractional_bits /
+    quantization / overflow:
+        Analyzer configuration and search-space box constraints.
+    mc_workers:
+        Default worker count of Monte-Carlo validation.
+    """
+
+    strategy: str = "greedy"
+    method: str = "aa"
+    snr_floor_db: float = 60.0
+    margin_db: float = 0.0
+    cost_table: str = "lut4"
+    engine: str = "incremental"
+    horizon: int = 8
+    bins: int = 32
+    max_word_length: int = 28
+    min_fractional_bits: int = 0
+    quantization: str = "round"
+    overflow: str = "saturate"
+    mc_workers: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise OptimizationError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}"
+            )
+        if self.margin_db < 0.0:
+            raise OptimizationError(f"margin_db must be >= 0, got {self.margin_db}")
+        if self.min_fractional_bits < 0:
+            raise OptimizationError(
+                f"min_fractional_bits must be >= 0, got {self.min_fractional_bits}"
+            )
+        if self.horizon < 1:
+            raise OptimizationError(f"horizon must be >= 1, got {self.horizon}")
+        if self.max_word_length < 2:
+            raise OptimizationError(
+                f"max_word_length must be >= 2, got {self.max_word_length}"
+            )
+
+    def replace(self, **changes: Any) -> "OptimizeConfig":
+        """A copy with ``changes`` applied (configs are immutable)."""
+        return dataclasses.replace(self, **changes)

@@ -2,13 +2,19 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import Counter, deque
+from pathlib import Path
 from typing import Dict, Iterable, Iterator, List
 
 from repro.dfg.node import OP_ARITY, Node, OpType
 from repro.errors import CycleError, DFGError, NodeNotFoundError
 
-__all__ = ["DFG"]
+__all__ = ["DFG", "DFG_FORMAT"]
+
+#: Format tag of the canonical JSON serialization of a :class:`DFG`.
+DFG_FORMAT = "repro-dfg-v1"
 
 
 class DFG:
@@ -294,6 +300,107 @@ class DFG:
         clone._nodes = dict(self._nodes)
         clone._op_counters = Counter(self._op_counters)
         return clone
+
+    # ------------------------------------------------------------------ #
+    # canonical serialization
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict:
+        """Canonical JSON-serializable form of the graph.
+
+        Nodes are listed in insertion order with their full wiring, so
+        ``from_dict(to_dict())`` round-trips exactly (including feedback
+        through delay registers).  The form is *stable*: the same graph
+        always serializes to the same document, which is what makes
+        :meth:`circuit_hash` usable as a cache key.
+        """
+        nodes = []
+        for node in self:
+            entry: dict = {"name": node.name, "op": node.op.value}
+            if node.inputs:
+                entry["inputs"] = list(node.inputs)
+            if node.value is not None:
+                entry["value"] = float(node.value)
+            if node.label:
+                entry["label"] = node.label
+            nodes.append(entry)
+        return {"format": DFG_FORMAT, "name": self.name, "nodes": nodes}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "DFG":
+        """Rebuild a graph from its :meth:`to_dict` form.
+
+        Feedback edges (a delay whose source appears later in the node
+        list) are wired in a second pass, mirroring how
+        :meth:`add_delay` / :meth:`connect_delay` describe loops.
+        """
+        if not isinstance(document, dict):
+            raise DFGError(f"cannot deserialize a {type(document).__name__} into a DFG")
+        fmt = document.get("format")
+        if fmt != DFG_FORMAT:
+            raise DFGError(
+                f"unsupported DFG serialization format {fmt!r} (expected {DFG_FORMAT!r})"
+            )
+        graph = cls(str(document.get("name") or "dfg"))
+        entries = document.get("nodes")
+        if not isinstance(entries, list):
+            raise DFGError("DFG document carries no 'nodes' list")
+        pending_delays: List[tuple] = []
+        for entry in entries:
+            try:
+                name = entry["name"]
+                op = OpType(entry["op"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise DFGError(f"malformed DFG node entry {entry!r}") from exc
+            inputs = tuple(entry.get("inputs", ()))
+            if op is OpType.DELAY:
+                graph.add_delay(name=name)
+                if entry.get("label"):
+                    placeholder = graph._nodes[name]
+                    graph._nodes[name] = Node(
+                        name=name,
+                        op=OpType.DELAY,
+                        inputs=placeholder.inputs,
+                        label=str(entry["label"]),
+                    )
+                if inputs:
+                    pending_delays.append((name, inputs[0]))
+                continue
+            graph.add_node(
+                op,
+                inputs,
+                name=name,
+                value=entry.get("value"),
+                label=str(entry.get("label", "")),
+            )
+        for delay_name, source in pending_delays:
+            graph.connect_delay(delay_name, source)
+        graph.validate()
+        return graph
+
+    def save(self, path: str | Path) -> None:
+        """Write the canonical JSON form to ``path``."""
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DFG":
+        """Read a graph previously written by :meth:`save`."""
+        try:
+            document = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise DFGError(f"{path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(document)
+
+    def circuit_hash(self) -> str:
+        """Content hash of the canonical form (hex SHA-256).
+
+        Two graphs with the same nodes, wiring, constants and name hash
+        identically regardless of how they were built — the key a result
+        cache or a benchmark registry can store analyses under.
+        """
+        canonical = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return hashlib.sha256(canonical).hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         ops = ", ".join(f"{op.value}:{count}" for op, count in sorted(self.op_histogram().items()))

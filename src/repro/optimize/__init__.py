@@ -19,6 +19,7 @@ from repro.optimize.cost import (
     CostTable,
     HardwareCostModel,
 )
+from repro.optimize.pareto import ParetoFront, ParetoPoint, pareto_front
 from repro.optimize.problem import DesignEvaluation, OptimizationProblem
 from repro.optimize.result import IterationRecord, OptimizationResult
 from repro.optimize.strategies import (
@@ -47,4 +48,7 @@ __all__ = [
     "SimulatedAnnealingOptimizer",
     "OPTIMIZERS",
     "get_optimizer",
+    "ParetoPoint",
+    "ParetoFront",
+    "pareto_front",
 ]

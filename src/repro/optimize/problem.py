@@ -16,12 +16,15 @@ An :class:`OptimizationProblem` bundles everything a strategy needs:
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import os
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Mapping
+from typing import Dict, Mapping, Sequence, Tuple
 
+from repro.config import UNSET, OptimizeConfig, merge_deprecated_kwargs
 from repro.dfg.graph import DFG
 from repro.dfg.node import OpType
 from repro.dfg.range_analysis import infer_ranges
@@ -32,7 +35,7 @@ from repro.intervals.interval import Interval, RangeLike, coerce_interval, unifo
 from repro.noisemodel.analyzer import ANALYSIS_METHODS, DatapathNoiseAnalyzer
 from repro.noisemodel.assignment import WordLengthAssignment, ensure_range_coverage
 from repro.noisemodel.gains import transfer_gains
-from repro.optimize.cost import CostBreakdown, HardwareCostModel
+from repro.optimize.cost import COST_TABLES, CostBreakdown, HardwareCostModel
 from repro.utils.mathutils import integer_bits_for_range
 
 __all__ = ["DesignEvaluation", "OptimizationProblem"]
@@ -62,65 +65,99 @@ class OptimizationProblem:
         Range of every external input.
     snr_floor_db:
         The constraint: achieved output SNR must be at least this.
+        ``None`` falls back to ``config.snr_floor_db``.
     cost_model:
-        Objective; defaults to :class:`HardwareCostModel` over the
-        default LUT table.
-    method:
-        Noise-analysis method that judges feasibility.
-    margin_db:
-        Extra dB the *analytic* SNR must clear above the floor — a
-        safety margin against model/Monte-Carlo mismatch.
-    min_fractional_bits / max_word_length:
-        Box constraints of the search space.
-    horizon / bins:
-        Analyzer configuration (see :class:`DatapathNoiseAnalyzer`).
+        Objective; defaults to :class:`HardwareCostModel` over
+        ``config.cost_table``.
+    config:
+        An :class:`~repro.config.OptimizeConfig` carrying the analysis
+        method, search-space box constraints, analyzer knobs and the
+        candidate-evaluation engine.  The pre-PR-7 per-field keyword
+        arguments (``method``, ``horizon``, ``bins``, ``margin_db``,
+        ``min_fractional_bits``, ``max_word_length``, ``quantization``,
+        ``overflow``, ``mc_workers``, ``use_incremental``) survive for
+        one release as deprecated aliases that override the config and
+        emit :class:`DeprecationWarning`.
     """
 
     def __init__(
         self,
         graph: DFG,
         input_ranges: Mapping[str, RangeLike],
-        snr_floor_db: float,
+        snr_floor_db: float | None = None,
         cost_model: HardwareCostModel | None = None,
-        method: str = "aa",
-        horizon: int = 8,
-        bins: int = 32,
-        margin_db: float = 0.0,
-        min_fractional_bits: int = 0,
-        max_word_length: int = 28,
-        quantization: str = "round",
-        overflow: str = "saturate",
+        config: OptimizeConfig | None = None,
         output: str | None = None,
         name: str | None = None,
-        use_incremental: bool = True,
-        mc_workers: int | None = None,
+        *,
+        method: object = UNSET,
+        horizon: object = UNSET,
+        bins: object = UNSET,
+        margin_db: object = UNSET,
+        min_fractional_bits: object = UNSET,
+        max_word_length: object = UNSET,
+        quantization: object = UNSET,
+        overflow: object = UNSET,
+        use_incremental: object = UNSET,
+        mc_workers: object = UNSET,
     ) -> None:
-        method = str(method).lower()
-        if method not in ANALYSIS_METHODS:
-            raise OptimizationError(
-                f"unknown analysis method {method!r}; choose from {ANALYSIS_METHODS}"
+        if config is None:
+            config = OptimizeConfig()
+        config = merge_deprecated_kwargs(
+            config,
+            {
+                "method": method,
+                "horizon": horizon,
+                "bins": bins,
+                "margin_db": margin_db,
+                "min_fractional_bits": min_fractional_bits,
+                "max_word_length": max_word_length,
+                "quantization": quantization,
+                "overflow": overflow,
+                "mc_workers": mc_workers,
+            },
+        )
+        if use_incremental is not UNSET:
+            warnings.warn(
+                "keyword argument use_incremental is deprecated; pass "
+                "OptimizeConfig(engine='incremental'|'fresh') via 'config' instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
-        if margin_db < 0.0:
-            raise OptimizationError(f"margin_db must be >= 0, got {margin_db}")
-        if min_fractional_bits < 0:
+            config = config.replace(engine="incremental" if use_incremental else "fresh")
+        if snr_floor_db is not None:
+            config = config.replace(snr_floor_db=float(snr_floor_db))
+        if str(config.method).lower() not in ANALYSIS_METHODS:
             raise OptimizationError(
-                f"min_fractional_bits must be >= 0, got {min_fractional_bits}"
+                f"unknown analysis method {config.method!r}; choose from {ANALYSIS_METHODS}"
             )
+        if str(config.method).lower() != config.method:
+            config = config.replace(method=str(config.method).lower())
+        #: The resolved :class:`OptimizeConfig` this problem searches under.
+        self.config = config
         self.graph = graph
         self.input_ranges = {str(k): coerce_interval(v) for k, v in input_ranges.items()}
         missing = [n for n in graph.inputs() if n not in self.input_ranges]
         if missing:
             raise OptimizationError(f"missing input ranges for: {', '.join(sorted(missing))}")
-        self.snr_floor_db = float(snr_floor_db)
-        self.cost_model = cost_model or HardwareCostModel()
-        self.method = method
-        self.horizon = int(horizon)
-        self.bins = int(bins)
-        self.margin_db = float(margin_db)
-        self.min_fractional_bits = int(min_fractional_bits)
-        self.max_word_length = int(max_word_length)
-        self.quantization = quantization
-        self.overflow = overflow
+        self.snr_floor_db = float(config.snr_floor_db)
+        if cost_model is None:
+            table = COST_TABLES.get(config.cost_table)
+            if table is None:
+                raise OptimizationError(
+                    f"unknown cost table {config.cost_table!r}; available: "
+                    f"{', '.join(COST_TABLES)}"
+                )
+            cost_model = HardwareCostModel(table)
+        self.cost_model = cost_model
+        self.method = config.method
+        self.horizon = int(config.horizon)
+        self.bins = int(config.bins)
+        self.margin_db = float(config.margin_db)
+        self.min_fractional_bits = int(config.min_fractional_bits)
+        self.max_word_length = int(config.max_word_length)
+        self.quantization = config.quantization
+        self.overflow = config.overflow
         self.name = name or graph.name
 
         range_result = infer_ranges(graph, self.input_ranges)
@@ -174,16 +211,23 @@ class OptimizationProblem:
         #: it actually analyzes — benchmarks replay these through other
         #: evaluators for apples-to-apples timing.
         self.analysis_log: list | None = None
-        #: Whether :meth:`evaluate` routes through the incremental engine.
-        self.use_incremental = bool(use_incremental)
+        #: Candidate-evaluation engine (``fresh`` / ``incremental`` /
+        #: ``batched``); ``batched`` keeps :meth:`evaluate` on the
+        #: incremental engine and additionally exposes vectorized batch
+        #: pricing to strategies through :meth:`price_moves`.
+        self.engine = config.engine
+        #: Whether :meth:`evaluate` routes through the incremental engine
+        #: (back-compat mirror of ``engine != "fresh"``).
+        self.use_incremental = config.engine != "fresh"
         #: Default worker count of :meth:`monte_carlo_snr`.  ``None``
         #: keeps the legacy single-stream validator; any integer selects
         #: the sharded validator, whose numbers are identical for every
         #: worker count (``1`` shards serially, ``N`` in processes).
-        self.mc_workers = mc_workers
+        self.mc_workers = config.mc_workers
         self._uniform_cache: Dict[int, DesignEvaluation] = {}
         self._eval_cache: Dict[tuple, DesignEvaluation] = {}
         self._incremental = None  # lazily-built IncrementalAnalyzer
+        self._batched = None  # lazily-built BatchedAnalyzer
         self._gain_sq: Dict[str, float] | None = None
         self._gain_abs: Dict[str, float] | None = None
 
@@ -342,6 +386,124 @@ class OptimizationProblem:
             self._incremental.commit(assignment)
             self.analysis_time_s += time.perf_counter() - started
             self.analysis_cpu_s += time.process_time() - started_cpu
+
+    # ------------------------------------------------------------------ #
+    # batched candidate pricing
+    # ------------------------------------------------------------------ #
+    def batched_engine(self):
+        """The problem's lazily-built, shared :class:`BatchedAnalyzer`.
+
+        The engine compiles the (unrolled) graph into a vectorized NumPy
+        program once; afterwards :meth:`price_moves` prices whole batches
+        of candidate shaves in one array pass.  Available regardless of
+        :attr:`engine` — strategies consult :attr:`engine` to decide
+        whether to route their inner loops through it.
+        """
+        if self._batched is None:
+            # Local import: repro.analysis imports repro.optimize at module
+            # scope (pipeline wiring); importing back lazily avoids the cycle.
+            from repro.analysis.batched import BatchedAnalyzer
+
+            self._batched = BatchedAnalyzer(
+                self.graph,
+                self.uniform(self.min_word_length),
+                self.input_ranges,
+                horizon=self.horizon,
+                bins=self.bins,
+                method=self.method,
+                ranges=self.ranges,
+            )
+        return self._batched
+
+    def price_moves(
+        self,
+        assignment: WordLengthAssignment,
+        moves: Sequence[Tuple[str, int]],
+    ):
+        """Noise power of every ``(node, new_fractional_bits)`` move at once.
+
+        Lane *k* carries exactly the noise power :meth:`evaluate` would
+        analyze for ``assignment.with_fractional_bits(*moves[k])`` — the
+        per-move coverage widening included — with domain-violating or
+        uncoverable lanes priced at ``inf``.  ``assignment`` must already
+        be coverage-widened (every ``DesignEvaluation.assignment`` is).
+        One vectorized pass replaces ``len(moves)`` analyzer probes; no
+        caches or counters are touched.
+        """
+        started = time.perf_counter()
+        started_cpu = time.process_time()
+        noise = self.batched_engine().price_moves(
+            assignment, moves, method=self.method, output=self.output
+        )
+        self.analysis_time_s += time.perf_counter() - started
+        self.analysis_cpu_s += time.process_time() - started_cpu
+        return noise
+
+    @property
+    def batched_calls(self) -> int:
+        """Vectorized sweeps priced by the batched engine (0 if unused)."""
+        return self._batched.batched_calls if self._batched is not None else 0
+
+    @property
+    def fallback_probes(self) -> int:
+        """Per-candidate probes the batched engine routed incrementally.
+
+        Non-``"ia"`` methods have no compiled vector program, so the
+        batched engine answers them one candidate at a time through the
+        incremental analyzer; this counts those probes.
+        """
+        return self._batched.fallback_probes if self._batched is not None else 0
+
+    # ------------------------------------------------------------------ #
+    # re-scoping and Pareto sweeps
+    # ------------------------------------------------------------------ #
+    def rescoped(
+        self, snr_floor_db: float, margin_db: float | None = None
+    ) -> "OptimizationProblem":
+        """A warm-started clone of this problem under a different SNR floor.
+
+        The clone shares every floor-independent artifact — ranges, gains,
+        the incremental and batched engines, and the evaluation cache
+        (with each entry's ``feasible`` verdict re-judged against the new
+        floor) — so sweeping a Pareto front pays the analyzer only for
+        designs no earlier floor visited.  The clone's ``analysis_log``
+        starts disabled regardless of this problem's.
+        """
+        clone = object.__new__(OptimizationProblem)
+        clone.__dict__.update(self.__dict__)
+        clone.snr_floor_db = float(snr_floor_db)
+        if margin_db is not None:
+            clone.margin_db = float(margin_db)
+        clone.config = self.config.replace(
+            snr_floor_db=clone.snr_floor_db, margin_db=clone.margin_db
+        )
+        clone.analysis_log = None
+        threshold = clone.snr_floor_db + clone.margin_db
+        clone._eval_cache = {
+            key: dataclasses.replace(ev, feasible=ev.snr_db >= threshold)
+            for key, ev in self._eval_cache.items()
+        }
+        clone._uniform_cache = {
+            w: clone._eval_cache[ev.assignment.key()]
+            for w, ev in self._uniform_cache.items()
+        }
+        return clone
+
+    def pareto(
+        self,
+        floors: Sequence[float],
+        strategy: str | None = None,
+        **strategy_options: object,
+    ):
+        """Cost-vs-SNR Pareto front over a list of SNR floors in one call.
+
+        See :func:`repro.optimize.pareto.pareto_front` — floors are swept
+        tightest-first with warm-started state so the resulting curve is
+        monotone by construction.
+        """
+        from repro.optimize.pareto import pareto_front
+
+        return pareto_front(self, floors, strategy=strategy, **strategy_options)
 
     def monte_carlo_snr(
         self,

@@ -19,6 +19,21 @@ return the same :class:`~repro.optimize.result.OptimizationResult`:
 * :class:`SimulatedAnnealingOptimizer` performs Metropolis moves (+-1
   fractional bit on a random node) over an energy mixing cost with an
   SNR-deficit penalty, keeping the best feasible design it visits.
+
+When the problem's :class:`~repro.config.OptimizeConfig` selects the
+``batched`` engine, the expensive inner loops change shape without
+changing their contracts: greedy prices *every* unblocked one-bit shave
+in a single vectorized pass (:meth:`OptimizationProblem.price_moves`)
+and ranks by **exact** noise added instead of the adjoint-gain estimate,
+and annealing can run many Metropolis chains side by side, pricing one
+proposal per chain per step in one array pass.  Accepted designs are
+always confirmed through :meth:`OptimizationProblem.evaluate`, so traces
+and results stay grounded in the same evaluator as the scalar engines;
+any batched setup failure falls back to the incremental path.
+
+Every strategy also accepts a ``warm_start`` assignment — Pareto sweeps
+hand the previous floor's solution to the next one so most of the
+descent is already paid for.
 """
 
 from __future__ import annotations
@@ -26,11 +41,12 @@ from __future__ import annotations
 import abc
 import math
 import time
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import NoiseModelError, OptimizationError
+from repro.noisemodel.assignment import WordLengthAssignment, ensure_range_coverage
 from repro.optimize.problem import DesignEvaluation, OptimizationProblem
 from repro.optimize.result import IterationRecord, OptimizationResult
 
@@ -86,18 +102,44 @@ def _sweep_uniform(
     return None, None, last
 
 
+def _evaluate_warm_start(
+    problem: OptimizationProblem,
+    warm_start: WordLengthAssignment | None,
+    trace: List[IterationRecord],
+) -> DesignEvaluation | None:
+    """Evaluate a Pareto warm start; ``None`` when absent or infeasible."""
+    if warm_start is None:
+        return None
+    try:
+        evaluation = problem.evaluate(warm_start)
+    except NoiseModelError:
+        return None
+    _record(trace, problem, "warm start", evaluation, evaluation.feasible)
+    return evaluation if evaluation.feasible else None
+
+
 class WordLengthOptimizer(abc.ABC):
     """Common interface: ``optimize(problem) -> OptimizationResult``."""
 
     name: str = "abstract"
 
-    def optimize(self, problem: OptimizationProblem) -> OptimizationResult:
-        """Run the search, timing it and accounting analyzer calls."""
+    def optimize(
+        self,
+        problem: OptimizationProblem,
+        warm_start: WordLengthAssignment | None = None,
+    ) -> OptimizationResult:
+        """Run the search, timing it and accounting analyzer calls.
+
+        ``warm_start`` seeds the search with a known design (typically
+        the previous point of a Pareto sweep); a strategy uses it when
+        it is feasible under this problem's floor and never returns a
+        design worse than the best feasible one it saw.
+        """
         trace: List[IterationRecord] = []
         calls_before = problem.analyzer_calls
         hits_before = problem.evaluate_cache_hits
         started = time.perf_counter()
-        best, baseline_cost, baseline_w = self._search(problem, trace)
+        best, baseline_cost, baseline_w = self._search(problem, trace, warm_start)
         runtime = time.perf_counter() - started
         extra = {"evaluate_cache_hits": float(problem.evaluate_cache_hits - hits_before)}
         if best is None:
@@ -138,7 +180,10 @@ class WordLengthOptimizer(abc.ABC):
 
     @abc.abstractmethod
     def _search(
-        self, problem: OptimizationProblem, trace: List[IterationRecord]
+        self,
+        problem: OptimizationProblem,
+        trace: List[IterationRecord],
+        warm_start: WordLengthAssignment | None = None,
     ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
         """Return ``(best_eval, baseline_cost, baseline_word_length)``."""
 
@@ -149,8 +194,13 @@ class UniformSweepOptimizer(WordLengthOptimizer):
     name = "uniform"
 
     def _search(
-        self, problem: OptimizationProblem, trace: List[IterationRecord]
+        self,
+        problem: OptimizationProblem,
+        trace: List[IterationRecord],
+        warm_start: WordLengthAssignment | None = None,
     ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
+        # warm_start intentionally unused: the sweep is already minimal
+        # over its (one-dimensional) search space.
         evaluation, word_length, _last = _sweep_uniform(problem, trace)
         if evaluation is None:
             return None, None, None
@@ -180,22 +230,28 @@ class GreedyBitStealingOptimizer(WordLengthOptimizer):
         self.max_iterations = int(max_iterations)
 
     def _search(
-        self, problem: OptimizationProblem, trace: List[IterationRecord]
+        self,
+        problem: OptimizationProblem,
+        trace: List[IterationRecord],
+        warm_start: WordLengthAssignment | None = None,
     ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
         uniform_eval, uniform_w, _last = _sweep_uniform(problem, trace)
         if uniform_eval is None or uniform_w is None:
             return None, None, None
 
-        starts: Dict[int, DesignEvaluation] = {uniform_w: uniform_eval}
+        starts: List[Tuple[str, DesignEvaluation]] = [(f"W{uniform_w}", uniform_eval)]
         headroom_w = min(uniform_w + self.headroom, problem.max_word_length)
         if headroom_w != uniform_w:
             evaluation = problem.evaluate_uniform(headroom_w)
             _record(trace, problem, f"headroom start W={headroom_w}", evaluation, True)
-            starts[headroom_w] = evaluation
+            starts.append((f"W{headroom_w}", evaluation))
+        warm_eval = _evaluate_warm_start(problem, warm_start, trace)
+        if warm_eval is not None:
+            starts.append(("warm", warm_eval))
 
         best = uniform_eval
-        for word_length, start in starts.items():
-            final = self._descend(problem, start, trace, f"W{word_length}")
+        for tag, start in starts:
+            final = self._descend(problem, start, trace, tag)
             if final.feasible and final.cost < best.cost:
                 best = final
         return best, uniform_eval.cost, uniform_w
@@ -209,9 +265,19 @@ class GreedyBitStealingOptimizer(WordLengthOptimizer):
     ) -> DesignEvaluation:
         current = start
         blocked: set[str] = set()
+        use_batched = getattr(problem, "engine", "incremental") == "batched"
         problem.notify_accepted(current.assignment)
         for _step in range(self.max_iterations):
-            candidate = self._best_candidate(problem, current, blocked)
+            if use_batched:
+                try:
+                    candidate = self._best_candidate_batched(problem, current, blocked)
+                except NoiseModelError:
+                    # batched setup failed (e.g. uncoverable baseline) —
+                    # the incremental path answers the same question.
+                    use_batched = False
+                    candidate = self._best_candidate(problem, current, blocked)
+            else:
+                candidate = self._best_candidate(problem, current, blocked)
             if candidate is None:
                 break
             node, new_frac = candidate
@@ -264,6 +330,58 @@ class GreedyBitStealingOptimizer(WordLengthOptimizer):
             return None
         return best_node, best_frac
 
+    def _best_candidate_batched(
+        self,
+        problem: OptimizationProblem,
+        current: DesignEvaluation,
+        blocked: set[str],
+    ) -> Tuple[str, int] | None:
+        """One vectorized pass pricing *every* unblocked one-bit shave.
+
+        Where the scalar path ranks by the adjoint-gain *estimate* of the
+        noise added and discovers infeasibility one evaluation at a time,
+        this prices all shaves exactly (:meth:`OptimizationProblem.price_moves`)
+        and blocks every shave the floor already rejects — noise only
+        grows as the descent progresses, so a rejected shave stays
+        rejected (the same monotonicity argument the scalar path uses,
+        applied to the whole frontier at once).
+        """
+        moves: List[Tuple[str, int]] = []
+        savings: List[float] = []
+        for node in problem.tunable:
+            if node in blocked:
+                continue
+            fmt = current.assignment.formats.get(node)
+            if fmt is None or fmt.fractional_bits <= problem.min_fractional_bits:
+                continue
+            new_frac = fmt.fractional_bits - 1
+            shaved = current.assignment.with_fractional_bits(node, new_frac)
+            saved = -problem.cost_model.reprice(
+                problem.graph,
+                current.assignment,
+                shaved,
+                problem.cost_model.affected_by(problem.graph, node),
+            )
+            if saved <= 0.0:
+                continue
+            moves.append((node, new_frac))
+            savings.append(saved)
+        if not moves:
+            return None
+        noise = problem.price_moves(current.assignment, moves)
+        threshold = problem.snr_floor_db + problem.margin_db
+        best: Tuple[str, int] | None = None
+        best_score = 0.0
+        for (node, new_frac), saved, noise_power in zip(moves, savings, noise):
+            if problem._snr_db(float(noise_power)) < threshold:
+                blocked.add(node)
+                continue
+            added = max(float(noise_power) - current.noise_power, 0.0)
+            score = saved / max(added, 1e-30)
+            if best is None or score > best_score:
+                best, best_score = (node, new_frac), score
+        return best
+
 
 class SimulatedAnnealingOptimizer(WordLengthOptimizer):
     """Metropolis search over per-node fractional bits.
@@ -272,6 +390,14 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
     strongly discouraged but still traversable at high temperature.  The
     best *feasible* design ever visited is returned (never worse than the
     cheapest feasible uniform, which seeds the search).
+
+    ``chains`` (> 1, with the problem's ``batched`` engine) runs that
+    many independent Metropolis chains side by side: each step proposes
+    one move per chain and prices the whole proposal batch in a single
+    vectorized pass, so exploration scales with the batch width instead
+    of the analyzer-call budget.  The best feasible design across all
+    chains is confirmed through :meth:`OptimizationProblem.evaluate`
+    before it is returned.
     """
 
     name = "anneal"
@@ -284,6 +410,7 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
         headroom: int = 0,
         initial_temperature_scale: float = 0.05,
         downhill_bias: float = 0.65,
+        chains: int = 1,
     ) -> None:
         if iterations < 1:
             raise OptimizationError(f"iterations must be >= 1, got {iterations}")
@@ -291,12 +418,15 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
             raise OptimizationError(f"cooling must be in (0, 1], got {cooling}")
         if not (0.0 <= downhill_bias <= 1.0):
             raise OptimizationError(f"downhill_bias must be in [0, 1], got {downhill_bias}")
+        if chains < 1:
+            raise OptimizationError(f"chains must be >= 1, got {chains}")
         self.iterations = int(iterations)
         self.seed = seed
         self.cooling = float(cooling)
         self.headroom = int(headroom)
         self.initial_temperature_scale = float(initial_temperature_scale)
         self.downhill_bias = float(downhill_bias)
+        self.chains = int(chains)
 
     def _energy(
         self, problem: OptimizationProblem, evaluation: DesignEvaluation, scale: float
@@ -305,7 +435,10 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
         return evaluation.cost + scale * deficit
 
     def _search(
-        self, problem: OptimizationProblem, trace: List[IterationRecord]
+        self,
+        problem: OptimizationProblem,
+        trace: List[IterationRecord],
+        warm_start: WordLengthAssignment | None = None,
     ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
         uniform_eval, uniform_w, _last = _sweep_uniform(problem, trace)
         if uniform_eval is None or uniform_w is None:
@@ -318,9 +451,22 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
             _record(trace, problem, f"anneal start W={start_w}", current, True)
         else:
             current = uniform_eval
+        warm_eval = _evaluate_warm_start(problem, warm_start, trace)
+        if warm_eval is not None and warm_eval.cost < current.cost:
+            current = warm_eval
         best = uniform_eval if uniform_eval.cost <= current.cost else current
         if not best.feasible:  # pragma: no cover - both seeds are feasible
             best = uniform_eval
+        if warm_eval is not None and warm_eval.cost < best.cost:
+            best = warm_eval
+
+        if self.chains > 1 and getattr(problem, "engine", "incremental") == "batched":
+            try:
+                return self._search_batched(
+                    problem, trace, rng, current, best, uniform_eval, uniform_w
+                )
+            except NoiseModelError:
+                pass  # fall through to the single-chain evaluator path
 
         # 1 dB of SNR deficit costs as much as the whole uniform design:
         # high temperature can wander, low temperature cannot stay infeasible.
@@ -366,6 +512,92 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
                 if current.feasible and current.cost < best.cost:
                     best = current
             temperature = max(temperature * self.cooling, 1e-9)
+        return best, uniform_eval.cost, uniform_w
+
+    def _search_batched(
+        self,
+        problem: OptimizationProblem,
+        trace: List[IterationRecord],
+        rng: np.random.Generator,
+        current: DesignEvaluation,
+        best: DesignEvaluation,
+        uniform_eval: DesignEvaluation,
+        uniform_w: int,
+    ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
+        """Vectorized multi-chain Metropolis over the batched engine.
+
+        All chains start from the single-chain seed; each step draws one
+        move per chain and prices the whole batch in one array pass, so
+        a step costs one compiled-program execution instead of ``chains``
+        analyzer calls.  Proposal costing goes through the cost model
+        directly (no :meth:`evaluate`, no cache churn); only the winning
+        design is confirmed through the evaluator at the end.
+        """
+        engine = problem.batched_engine()  # may raise NoiseModelError
+        tunable = [
+            node
+            for node in problem.tunable
+            if current.assignment.formats.get(node) is not None
+        ]
+        if not tunable:
+            return best, uniform_eval.cost, uniform_w
+        chains = self.chains
+        penalty_scale = uniform_eval.cost
+        threshold = problem.snr_floor_db + problem.margin_db
+        assignments: List[WordLengthAssignment] = [current.assignment] * chains
+        seed_energy = self._energy(problem, current, penalty_scale)
+        energies = [seed_energy] * chains
+        best_assignment = best.assignment
+        best_cost = best.cost
+        temperature = max(self.initial_temperature_scale * current.cost, 1e-9)
+        for _step in range(self.iterations):
+            idx = rng.integers(len(tunable), size=chains)
+            downhill = rng.random(chains) < self.downhill_bias
+            accept_draw = rng.random(chains)
+            proposals: List[WordLengthAssignment] = []
+            moved_lanes: List[int] = []
+            for lane in range(chains):
+                node = tunable[int(idx[lane])]
+                fmt = assignments[lane].format_of(node)
+                step = -1 if downhill[lane] else +1
+                new_frac = fmt.fractional_bits + step
+                new_frac = max(problem.min_fractional_bits, new_frac)
+                new_frac = min(problem.max_word_length - fmt.integer_bits, new_frac)
+                if new_frac == fmt.fractional_bits:
+                    continue
+                candidate = assignments[lane].with_fractional_bits(node, new_frac)
+                try:
+                    candidate = ensure_range_coverage(candidate, problem.ranges)
+                except NoiseModelError:
+                    continue
+                proposals.append(candidate)
+                moved_lanes.append(lane)
+            if proposals:
+                noise = engine.price(
+                    proposals, method=problem.method, output=problem.output
+                )
+                for k, lane in enumerate(moved_lanes):
+                    candidate = proposals[k]
+                    snr = problem._snr_db(float(noise[k]))
+                    candidate_cost = problem.cost_model.price(
+                        problem.graph, candidate
+                    ).total
+                    deficit = max(0.0, threshold - snr)
+                    candidate_energy = candidate_cost + penalty_scale * deficit
+                    delta = candidate_energy - energies[lane]
+                    if delta <= 0.0 or accept_draw[lane] < math.exp(-delta / temperature):
+                        assignments[lane] = candidate
+                        energies[lane] = candidate_energy
+                        if snr >= threshold and candidate_cost < best_cost:
+                            best_assignment = candidate
+                            best_cost = candidate_cost
+            temperature = max(temperature * self.cooling, 1e-9)
+        final = problem.evaluate(best_assignment)
+        _record(
+            trace, problem, f"anneal best of {chains} chains", final, final.feasible
+        )
+        if final.feasible and final.cost < best.cost:
+            best = final
         return best, uniform_eval.cost, uniform_w
 
 

@@ -95,6 +95,40 @@ class TestOptimize:
         with pytest.raises(SystemExit, match="unknown cost table"):
             main(["optimize", "quadratic", "--cost-table", "tnt"])
 
+    def test_batched_engine_flag(self, tmp_path):
+        out = tmp_path / "result.json"
+        code = main(
+            ["optimize", "fir4", "--snr-floor", "50", "--method", "ia",
+             "--engine", "batched", "--samples", "1000", "--bins", "8",
+             "--horizon", "3", "--out", str(out)]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["feasible"] is True and document["mc_validated"] is True
+
+
+class TestPareto:
+    @pytest.mark.parametrize("circuit", ["fir4", "sigmoid_neuron"])
+    def test_one_call_monotone_curve(self, circuit, tmp_path, capsys):
+        out = tmp_path / "front.json"
+        code = main(
+            ["pareto", circuit, "--method", "ia", "--floor", "45", "--floor", "55",
+             "--floor", "65", "--bins", "8", "--horizon", "3", "--out", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "monotone" in printed and "NOT MONOTONE" not in printed
+        document = json.loads(out.read_text())
+        assert document["monotone"] is True
+        floors = [p["snr_floor_db"] for p in document["points"]]
+        assert floors == [45.0, 55.0, 65.0]
+        costs = [p["cost"] for p in document["points"] if p["feasible"]]
+        assert costs == sorted(costs)
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(SystemExit, match="unknown circuit"):
+            main(["pareto", "nope"])
+
 
 class TestBenchDispatch:
     def test_bench_analysis_smoke(self, tmp_path, capsys):
