@@ -10,6 +10,7 @@ at the heart of the paper, packaged as one call.
 """
 
 from repro.analysis.batched import BatchedAnalyzer
+from repro.analysis.degradation import ENGINE_CHAIN, DegradationEvent
 from repro.analysis.incremental import IncrementalAnalyzer, IncrementalStats
 from repro.analysis.montecarlo import MonteCarloResult, monte_carlo_error
 from repro.analysis.pipeline import ALL_METHODS, NoiseAnalysisPipeline
@@ -26,6 +27,8 @@ __all__ = [
     "IncrementalAnalyzer",
     "IncrementalStats",
     "BatchedAnalyzer",
+    "DegradationEvent",
+    "ENGINE_CHAIN",
     "AnalysisConfig",
     "OptimizeConfig",
 ]

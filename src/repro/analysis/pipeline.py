@@ -31,6 +31,7 @@ import time
 import warnings
 from typing import Dict, Iterable, Mapping
 
+from repro.analysis.degradation import DegradationEvent
 from repro.analysis.montecarlo import (
     MonteCarloResult,
     monte_carlo_error,
@@ -41,7 +42,7 @@ from repro.config import UNSET, AnalysisConfig, OptimizeConfig, merge_deprecated
 from repro.dfg.builder import expression_to_dfg
 from repro.dfg.graph import DFG
 from repro.dfg.range_analysis import infer_ranges
-from repro.errors import NoiseModelError
+from repro.errors import JobError, NoiseModelError
 from repro.histogram.pdf import HistogramPDF
 from repro.intervals.interval import Interval, RangeLike, coerce_interval, uniform_power
 from repro.noisemodel.analyzer import ANALYSIS_METHODS, DatapathNoiseAnalyzer
@@ -118,6 +119,11 @@ class NoiseAnalysisPipeline:
         self.seed = config.seed
         self.mc_workers = config.mc_workers
         self.enclosure_tol = float(config.enclosure_tol)
+        self.mc_fallback = bool(getattr(config, "mc_fallback", True))
+        #: :class:`~repro.analysis.degradation.DegradationEvent` log —
+        #: appended to (never cleared) whenever a sharded Monte-Carlo
+        #: validation had to fall back to the in-process validator.
+        self.degradation_log: list[DegradationEvent] = []
 
     # ------------------------------------------------------------------ #
     def analyze(
@@ -188,17 +194,44 @@ class NoiseAnalysisPipeline:
                         # chunk seeds from a random base instead of
                         # dropping the workers
                         seed = int.from_bytes(os.urandom(4), "big")
-                    mc_result = monte_carlo_error_sharded(
-                        graph,
-                        assignment,
-                        ranges_in,
-                        samples=self.mc_samples,
-                        steps=self.horizon,
-                        input_pdfs=input_pdfs,
-                        output=out_node,
-                        seed=seed,
-                        workers=self.mc_workers,
-                    )
+                    try:
+                        mc_result = monte_carlo_error_sharded(
+                            graph,
+                            assignment,
+                            ranges_in,
+                            samples=self.mc_samples,
+                            steps=self.horizon,
+                            input_pdfs=input_pdfs,
+                            output=out_node,
+                            seed=seed,
+                            workers=self.mc_workers,
+                        )
+                    except JobError as exc:
+                        # A dead worker pool should not sink the whole
+                        # analysis: shard serially in-process instead.
+                        # Per-chunk seeds derive from the chunk index, so
+                        # the fallback reproduces the sharded numbers.
+                        if not self.mc_fallback:
+                            raise
+                        self.degradation_log.append(
+                            DegradationEvent(
+                                stage="montecarlo-sharded",
+                                from_engine=f"sharded[{self.mc_workers}]",
+                                to_engine="sharded[1]",
+                                reason=f"{type(exc).__name__}: {exc}",
+                            )
+                        )
+                        mc_result = monte_carlo_error_sharded(
+                            graph,
+                            assignment,
+                            ranges_in,
+                            samples=self.mc_samples,
+                            steps=self.horizon,
+                            input_pdfs=input_pdfs,
+                            output=out_node,
+                            seed=seed,
+                            workers=1,
+                        )
                 else:
                     mc_result = monte_carlo_error(
                         graph,

@@ -31,8 +31,14 @@ from typing import Sequence
 
 from repro.analysis.pipeline import ALL_METHODS, NoiseAnalysisPipeline
 from repro.benchmarks.circuits import CIRCUITS, get_circuit
+from repro.benchmarks.runner_options import (
+    add_runner_arguments,
+    checkpoint_from_args,
+    fault_summary,
+    runner_from_args,
+)
 from repro.config import AnalysisConfig
-from repro.jobs import JobRunner, JobSpec, derive_seed, summarize_run
+from repro.jobs import JobCheckpoint, JobRunner, JobSpec, derive_seed, summarize_run
 
 __all__ = ["run_benchmarks", "main"]
 
@@ -82,6 +88,8 @@ def run_benchmarks(
     seed: int = 0,
     methods: Sequence[str] | None = None,
     workers: int = 1,
+    runner: JobRunner | None = None,
+    checkpoint: JobCheckpoint | None = None,
 ) -> dict:
     """Run the full benchmark matrix and return the report document.
 
@@ -126,12 +134,18 @@ def run_benchmarks(
         )
         for name in names
     ]
-    runner = JobRunner(workers=workers)
+    if runner is None:
+        runner = JobRunner(workers=workers)
     started = time.perf_counter()
-    results = runner.run(specs, check=True)
+    results = runner.run(specs, check=True, checkpoint=checkpoint)
     elapsed = time.perf_counter() - started
     for name, result in zip(names, results):
-        document["circuits"][name] = result.value
+        entry = dict(result.value)
+        entry["job_attempts"] = result.attempts
+        entry["job_timeouts"] = result.timeouts
+        if result.resumed:
+            entry["job_resumed"] = True
+        document["circuits"][name] = entry
     verdicts = [
         entry["enclosure"][method]
         for entry in document["circuits"].values()
@@ -143,6 +157,9 @@ def run_benchmarks(
     # all — e.g. a method-restricted run without "montecarlo".
     document["all_enclosed"] = all(verdicts) if verdicts else None
     document["parallel"] = summarize_run(runner, results, elapsed)
+    faults = fault_summary(runner)
+    if faults is not None:
+        document["fault_injection"] = faults
     return document
 
 
@@ -191,6 +208,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="small, fast configuration for CI smoke runs",
     )
+    add_runner_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -198,6 +216,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.bins = min(args.bins, 16)
         args.horizon = min(args.horizon, 4)
 
+    runner = runner_from_args(args, workers=args.workers, seed=args.seed)
+    checkpoint = checkpoint_from_args(
+        args,
+        meta={
+            "suite": "noise-analysis-pipeline",
+            "circuits": sorted(args.circuit or CIRCUITS),
+            "word_length": args.word_length,
+            "horizon": args.horizon,
+            "bins": args.bins,
+            "mc_samples": args.samples,
+            "seed": args.seed,
+        },
+    )
     document = run_benchmarks(
         circuits=args.circuit,
         word_length=args.word_length,
@@ -206,6 +237,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         mc_samples=args.samples,
         seed=args.seed,
         workers=args.workers,
+        runner=runner,
+        checkpoint=checkpoint,
     )
 
     _print_document(document)

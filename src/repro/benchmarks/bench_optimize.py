@@ -48,8 +48,14 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.benchmarks.circuits import CIRCUITS, get_circuit
+from repro.benchmarks.runner_options import (
+    add_runner_arguments,
+    checkpoint_from_args,
+    fault_summary,
+    runner_from_args,
+)
 from repro.config import OptimizeConfig
-from repro.jobs import JobRunner, JobSpec, derive_seed, summarize_run
+from repro.jobs import JobCheckpoint, JobRunner, JobSpec, derive_seed, summarize_run
 from repro.optimize import COST_TABLES, HardwareCostModel, OptimizationProblem, get_optimizer
 
 __all__ = ["run_optimize_benchmarks", "main", "METHODS", "STRATEGIES"]
@@ -153,8 +159,18 @@ def run_optimize_benchmarks(
     anneal_iterations: int = 120,
     cost_table: str = "lut4",
     workers: int = 1,
+    runner: JobRunner | None = None,
+    checkpoint: JobCheckpoint | None = None,
 ) -> dict:
-    """Run the optimization benchmark matrix and return the report document."""
+    """Run the optimization benchmark matrix and return the report document.
+
+    ``runner`` overrides the default :class:`JobRunner` (to add timeouts,
+    retries or fault injection); ``checkpoint`` streams completed cells
+    to disk and, when opened with ``resume=True``, skips the cells it
+    already holds.  Neither changes the deterministic content of the
+    document — retry/fault/resume counters land in volatile keys that
+    :func:`~repro.jobs.canonical.canonical_document` strips.
+    """
     names = list(circuits) if circuits else list(CIRCUITS)
     cost_model = HardwareCostModel(COST_TABLES[cost_table])
     document: dict = {
@@ -207,11 +223,22 @@ def run_optimize_benchmarks(
         )
         for name, method, strategy in cells
     ]
-    runner = JobRunner(workers=workers)
+    if runner is None:
+        runner = JobRunner(workers=workers)
     started = time.perf_counter()
-    results = runner.run(specs, check=True)
+    results = runner.run(specs, check=True, checkpoint=checkpoint)
     elapsed = time.perf_counter() - started
-    rows_by_cell = {cell: result.value for cell, result in zip(cells, results)}
+    rows_by_cell: dict = {}
+    for cell, result in zip(cells, results):
+        row = dict(result.value)
+        # volatile per-row execution counters (stripped from the
+        # canonical document; "attempts" itself is the deterministic
+        # margin-escalation count and stays untouched)
+        row["job_attempts"] = result.attempts
+        row["job_timeouts"] = result.timeouts
+        if result.resumed:
+            row["job_resumed"] = True
+        rows_by_cell[cell] = row
 
     all_validated = True
     all_improved = True
@@ -253,6 +280,9 @@ def run_optimize_benchmarks(
     document["all_improved"] = all_improved
     document["passed"] = all_validated and all_improved
     document["parallel"] = summarize_run(runner, results, elapsed)
+    faults = fault_summary(runner)
+    if faults is not None:
+        document["fault_injection"] = faults
     return document
 
 
@@ -324,6 +354,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="small, fast configuration for CI smoke runs",
     )
+    add_runner_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -336,6 +367,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.strategy:
         strategies = ["uniform"] + [s for s in STRATEGIES if s != "uniform" and s in args.strategy]
 
+    runner = runner_from_args(args, workers=args.workers, seed=args.seed)
+    checkpoint = checkpoint_from_args(
+        args,
+        meta={
+            "suite": "word-length-optimization",
+            "circuits": sorted(args.circuit or CIRCUITS),
+            "methods": sorted(args.method or METHODS),
+            "strategies": strategies,
+            "snr_floor_db": args.snr_floor_db,
+            "margin_db": args.margin_db,
+            "horizon": args.horizon,
+            "bins": args.bins,
+            "max_word_length": args.max_word_length,
+            "mc_samples": args.samples,
+            "seed": args.seed,
+            "anneal_iterations": args.anneal_iterations,
+            "cost_table": args.cost_table,
+        },
+    )
     document = run_optimize_benchmarks(
         circuits=args.circuit,
         methods=args.method or METHODS,
@@ -350,6 +400,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         anneal_iterations=args.anneal_iterations,
         cost_table=args.cost_table,
         workers=args.workers,
+        runner=runner,
+        checkpoint=checkpoint,
     )
 
     _print_document(document)

@@ -43,7 +43,13 @@ from typing import Sequence
 
 from repro.benchmarks.circuits import CIRCUITS, get_circuit
 from repro.config import ENGINES, OptimizeConfig
-from repro.jobs import JobRunner, JobSpec, derive_seed, summarize_run
+from repro.benchmarks.runner_options import (
+    add_runner_arguments,
+    checkpoint_from_args,
+    fault_summary,
+    runner_from_args,
+)
+from repro.jobs import JobCheckpoint, JobRunner, JobSpec, derive_seed, summarize_run
 from repro.optimize import OptimizationProblem
 
 __all__ = ["run_pareto_benchmarks", "main"]
@@ -131,6 +137,8 @@ def run_pareto_benchmarks(
     seed: int = 0,
     anneal_iterations: int = 120,
     workers: int = 1,
+    runner: JobRunner | None = None,
+    checkpoint: JobCheckpoint | None = None,
 ) -> dict:
     """Run the Pareto benchmark matrix and return the report document."""
     names = list(circuits) if circuits else list(CIRCUITS)
@@ -179,15 +187,20 @@ def run_pareto_benchmarks(
         )
         for name in names
     ]
-    runner = JobRunner(workers=workers)
+    if runner is None:
+        runner = JobRunner(workers=workers)
     started = time.perf_counter()
-    results = runner.run(specs, check=True)
+    results = runner.run(specs, check=True, checkpoint=checkpoint)
     elapsed = time.perf_counter() - started
     all_monotone = True
     all_feasible = True
     all_validated = True
     for name, result in zip(names, results):
-        row = result.value
+        row = dict(result.value)
+        row["job_attempts"] = result.attempts
+        row["job_timeouts"] = result.timeouts
+        if result.resumed:
+            row["job_resumed"] = True
         document["circuits"][name] = row
         all_monotone = all_monotone and row["monotone"]
         all_feasible = all_feasible and row["feasible_floors"] > 0
@@ -197,6 +210,9 @@ def run_pareto_benchmarks(
     document["all_validated"] = all_validated
     document["passed"] = all_monotone and all_feasible and all_validated
     document["parallel"] = summarize_run(runner, results, elapsed)
+    faults = fault_summary(runner)
+    if faults is not None:
+        document["fault_injection"] = faults
     return document
 
 
@@ -266,6 +282,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="small, fast configuration for CI smoke runs (two floors, "
         "fewer Monte-Carlo samples)",
     )
+    add_runner_arguments(parser)
     args = parser.parse_args(argv)
 
     floors = args.floors or list(DEFAULT_FLOORS)
@@ -277,6 +294,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         if not args.floors:
             floors = [50.0, 60.0]
 
+    runner = runner_from_args(args, workers=args.workers, seed=args.seed)
+    checkpoint = checkpoint_from_args(
+        args,
+        meta={
+            "suite": "pareto-front",
+            "circuits": sorted(args.circuit or CIRCUITS),
+            "floors": sorted({float(f) for f in floors}),
+            "strategy": args.strategy,
+            "method": args.method,
+            "engine": args.engine,
+            "margin_db": args.margin_db,
+            "horizon": args.horizon,
+            "bins": args.bins,
+            "max_word_length": args.max_word_length,
+            "mc_samples": args.samples,
+            "seed": args.seed,
+            "anneal_iterations": args.anneal_iterations,
+        },
+    )
     document = run_pareto_benchmarks(
         circuits=args.circuit,
         floors=floors,
@@ -291,6 +327,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         anneal_iterations=args.anneal_iterations,
         workers=args.workers,
+        runner=runner,
+        checkpoint=checkpoint,
     )
 
     _print_document(document)

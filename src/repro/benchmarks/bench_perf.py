@@ -81,7 +81,13 @@ from repro.analysis.incremental import IncrementalAnalyzer
 from repro.benchmarks.circuits import CIRCUITS, get_circuit
 from repro.config import OptimizeConfig
 from repro.errors import NoiseModelError
-from repro.jobs import JobRunner, JobSpec, derive_seed, summarize_run
+from repro.benchmarks.runner_options import (
+    add_runner_arguments,
+    checkpoint_from_args,
+    fault_summary,
+    runner_from_args,
+)
+from repro.jobs import JobCheckpoint, JobRunner, JobSpec, derive_seed, summarize_run
 from repro.noisemodel.analyzer import ANALYSIS_METHODS, DatapathNoiseAnalyzer
 from repro.noisemodel.assignment import ensure_range_coverage
 from repro.optimize import OptimizationProblem
@@ -459,6 +465,8 @@ def run_perf_benchmarks(
     seed: int = 0,
     gate_metric: str = "wall",
     workers: int = 1,
+    runner: JobRunner | None = None,
+    checkpoint: JobCheckpoint | None = None,
 ) -> dict:
     """Run the performance benchmark matrix and return the report document."""
     if gate_metric not in GATE_METRICS:
@@ -509,9 +517,10 @@ def run_perf_benchmarks(
         )
         for name, method in pairs
     ]
-    runner = JobRunner(workers=workers)
+    if runner is None:
+        runner = JobRunner(workers=workers)
     started = time.perf_counter()
-    job_results = runner.run(specs, check=True)
+    job_results = runner.run(specs, check=True, checkpoint=checkpoint)
     elapsed = time.perf_counter() - started
     by_pair = {pair: result for pair, result in zip(pairs, job_results)}
 
@@ -584,6 +593,9 @@ def run_perf_benchmarks(
         equivalence_ok and batched_equivalence_ok and speedup_ok and batched_speedup_ok
     )
     document["parallel"] = summarize_run(runner, job_results, elapsed)
+    faults = fault_summary(runner)
+    if faults is not None:
+        document["fault_injection"] = faults
     return document
 
 
@@ -674,6 +686,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "clocks are too noisy for millisecond-scale loops) but keeps the "
         "equivalence gate strict",
     )
+    add_runner_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -699,6 +712,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         seed=args.seed,
         gate_metric=args.gate_metric,
         workers=args.workers,
+        runner=runner_from_args(args, workers=args.workers, seed=args.seed),
+        checkpoint=checkpoint_from_args(
+            args,
+            meta={
+                "suite": "incremental-performance",
+                "circuits": sorted(args.circuit or CIRCUITS),
+                "methods": sorted(args.method or ANALYSIS_METHODS),
+                "snr_floor_db": args.snr_floor_db,
+                "horizon": args.horizon,
+                "bins": args.bins,
+                "reps": args.reps,
+                "equiv_trials": args.equiv_trials,
+                "seed": args.seed,
+            },
+        ),
     )
 
     _print_document(document)

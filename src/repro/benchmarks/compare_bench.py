@@ -49,11 +49,31 @@ __all__ = [
     "compare_pareto_documents",
     "render_markdown",
     "render_pareto_markdown",
+    "strip_execution_counters",
     "main",
 ]
 
 #: Methods whose bounds are sound enclosures and therefore gated.
 GATED_METHODS = ("ia", "aa", "taylor")
+
+#: Fault-tolerance execution counters: how a run *executed* (retries,
+#: timeouts, resumed cells, injected faults), never what it *computed*.
+#: A base measured without fault injection must diff clean against a
+#: head measured with it, so these are stripped before comparing.
+EXECUTION_COUNTER_KEYS = ("job_attempts", "job_timeouts", "job_resumed", "fault_injection")
+
+
+def strip_execution_counters(document: object) -> object:
+    """Recursively drop the fault-tolerance execution counters."""
+    if isinstance(document, dict):
+        return {
+            key: strip_execution_counters(value)
+            for key, value in document.items()
+            if key not in EXECUTION_COUNTER_KEYS
+        }
+    if isinstance(document, list):
+        return [strip_execution_counters(value) for value in document]
+    return document
 
 
 def _width(row: dict) -> float:
@@ -305,8 +325,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    base = json.loads(Path(args.base).read_text())
-    head = json.loads(Path(args.head).read_text())
+    base = strip_execution_counters(json.loads(Path(args.base).read_text()))
+    head = strip_execution_counters(json.loads(Path(args.head).read_text()))
     base_suite = base.get("suite")
     head_suite = head.get("suite")
     if {base_suite, head_suite} == {"pareto-front"}:

@@ -1,0 +1,133 @@
+"""Shared fault-tolerance flags of the benchmark drivers.
+
+Every ``bench_*`` driver shards its cells through
+:class:`~repro.jobs.runner.JobRunner`; this module gives them one common
+vocabulary for the runner's hardening knobs:
+
+``--timeout``
+    Per-job wall-clock budget in seconds.  An expired job's worker pool
+    is killed and respawned; the job is retried if budget remains.
+``--retries``
+    Maximum attempts per job (1 = no retries, the legacy behavior).
+    Backoff between attempts is exponential with deterministic jitter.
+``--inject-faults`` / ``--fault-kinds``
+    Deterministic fault injection (see :mod:`repro.jobs.faults`): each
+    (job, attempt) pair draws from a seeded hash, so a faulted run
+    retries the exact same cells on every machine.  Because faults fire
+    *before* the job function runs, a surviving retry returns the exact
+    clean value — the merged document is bit-identical to a fault-free
+    run (the CI gate).  Injecting faults without an explicit
+    ``--retries`` raises the budget to 3 so the run can actually
+    survive them.
+``--checkpoint`` / ``--resume``
+    Append-only JSONL checkpoint of completed cells; ``--resume`` skips
+    the cells already on disk (validated against the run-configuration
+    fingerprint) and recomputes only the rest.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Mapping
+
+from repro.errors import CheckpointError
+from repro.jobs import FaultPlan, JobCheckpoint, JobRunner, RetryPolicy
+
+__all__ = [
+    "add_runner_arguments",
+    "runner_from_args",
+    "checkpoint_from_args",
+    "fault_summary",
+]
+
+
+def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared fault-tolerance flags to a driver's parser."""
+    group = parser.add_argument_group("fault tolerance")
+    group.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget; an expired job is killed (and retried if --retries allows)",
+    )
+    group.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="maximum attempts per job (default 1; defaults to 3 when --inject-faults is active)",
+    )
+    group.add_argument(
+        "--inject-faults",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        dest="inject_faults",
+        help="deterministically inject faults into that fraction of (job, attempt) pairs",
+    )
+    group.add_argument(
+        "--fault-kinds",
+        default="exception",
+        metavar="KINDS",
+        dest="fault_kinds",
+        help="comma-separated fault kinds to inject: exception, hang, kill",
+    )
+    group.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="append each completed cell to this JSONL checkpoint file",
+    )
+    group.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells already completed in the --checkpoint file",
+    )
+
+
+def runner_from_args(args: argparse.Namespace, workers: int, seed: int = 0) -> JobRunner:
+    """Build the hardened :class:`JobRunner` a driver's flags describe."""
+    retries = args.retries
+    if retries is None:
+        retries = 3 if args.inject_faults > 0.0 else 1
+    if retries < 1:
+        raise CheckpointError(f"--retries must be >= 1, got {retries}")
+    retry = RetryPolicy(max_attempts=retries) if retries > 1 else None
+    fault_plan = None
+    if args.inject_faults > 0.0:
+        kinds = tuple(k.strip() for k in str(args.fault_kinds).split(",") if k.strip())
+        fault_plan = FaultPlan(rate=args.inject_faults, seed=seed, kinds=kinds)
+    return JobRunner(
+        workers=workers,
+        timeout_s=args.timeout,
+        retry=retry,
+        fault_plan=fault_plan,
+    )
+
+
+def checkpoint_from_args(args: argparse.Namespace, meta: Mapping) -> JobCheckpoint | None:
+    """Build the driver's :class:`JobCheckpoint`, or ``None`` without ``--checkpoint``.
+
+    ``meta`` should be the suite's deterministic configuration document;
+    its fingerprint guards ``--resume`` against splicing results from a
+    differently-configured run.
+    """
+    if args.checkpoint is None:
+        if args.resume:
+            raise CheckpointError("--resume requires --checkpoint PATH")
+        return None
+    return JobCheckpoint(args.checkpoint, meta=meta, resume=args.resume)
+
+
+def fault_summary(runner: JobRunner) -> dict | None:
+    """Volatile document block describing active fault injection, if any."""
+    plan = getattr(runner, "fault_plan", None)
+    if plan is None:
+        return None
+    return {
+        "rate": plan.rate,
+        "seed": plan.seed,
+        "kinds": list(plan.kinds),
+        "max_faults_per_job": plan.max_faults_per_job,
+    }

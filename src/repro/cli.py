@@ -38,11 +38,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from pathlib import Path
 from typing import Sequence
 
 from repro import __version__
 from repro.config import ENGINES
+from repro.errors import CheckpointError, DesignError, OptimizationError, ReproError
 
 __all__ = ["main"]
 
@@ -103,6 +105,17 @@ def _add_optimize_parser(sub) -> None:
         "--workers", type=int, default=1, help="Monte-Carlo validation shard workers"
     )
     parser.add_argument("--out", default=None, help="also write the result JSON here")
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="persist the search state here so an interrupted run can --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the search from an existing --checkpoint snapshot",
+    )
 
 
 def _add_pareto_parser(sub) -> None:
@@ -137,6 +150,17 @@ def _add_pareto_parser(sub) -> None:
         help="noise-analysis engine (default: batched — the sweep's point)",
     )
     parser.add_argument("--out", default=None, help="also write the front JSON here")
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="persist each completed floor here so an interrupted sweep can --resume",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the sweep from an existing --checkpoint snapshot",
+    )
 
 
 def _add_bench_parser(sub) -> None:
@@ -160,7 +184,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
     unknown = [name for name in args.circuits if name not in CIRCUITS]
     if unknown:
-        raise SystemExit(
+        raise DesignError(
             f"unknown circuit(s): {', '.join(unknown)}; available: {', '.join(CIRCUITS)}"
         )
     document = run_benchmarks(
@@ -188,7 +212,7 @@ def _optimize_config(args: argparse.Namespace, engine: str):
     from repro.optimize import COST_TABLES
 
     if args.cost_table not in COST_TABLES:
-        raise SystemExit(
+        raise OptimizationError(
             f"unknown cost table {args.cost_table!r}; available: {', '.join(COST_TABLES)}"
         )
     return OptimizeConfig(
@@ -210,16 +234,56 @@ def _strategy_options(args: argparse.Namespace) -> dict:
     return {}
 
 
+def _search_checkpoint(args: argparse.Namespace, command: str, **extra_meta: object):
+    """The ``--checkpoint`` snapshot of an optimize/pareto run, or ``None``.
+
+    The snapshot's fingerprint covers the search-relevant flags, so
+    ``--resume`` refuses a file written under a different configuration.
+    Without ``--resume`` a stale snapshot is cleared first — a fresh run
+    must not silently continue an old one.
+    """
+    if args.checkpoint is None:
+        if args.resume:
+            raise CheckpointError("--resume requires --checkpoint PATH")
+        return None
+    from repro.jobs import SearchCheckpoint
+
+    meta = {
+        "command": command,
+        "circuit": args.circuit,
+        "strategy": args.strategy,
+        "method": args.method,
+        "margin_db": args.margin_db,
+        "horizon": args.horizon,
+        "bins": args.bins,
+        "max_word_length": args.max_word_length,
+        "seed": args.seed,
+        "anneal_iterations": args.anneal_iterations,
+        "cost_table": args.cost_table,
+        "engine": args.engine,
+        **extra_meta,
+    }
+    if command == "optimize":
+        meta["snr_floor_db"] = args.snr_floor_db
+    checkpoint = SearchCheckpoint(args.checkpoint, meta=meta)
+    if not args.resume:
+        checkpoint.clear()
+    return checkpoint
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
     from repro.benchmarks.circuits import CIRCUITS, get_circuit
     from repro.optimize import OptimizationProblem, get_optimizer
 
     if args.circuit not in CIRCUITS:
-        raise SystemExit(f"unknown circuit {args.circuit!r}; available: {', '.join(CIRCUITS)}")
+        raise DesignError(f"unknown circuit {args.circuit!r}; available: {', '.join(CIRCUITS)}")
     circuit = get_circuit(args.circuit)
     config = _optimize_config(args, args.engine).replace(mc_workers=args.workers)
     problem = OptimizationProblem.from_circuit(circuit, args.snr_floor_db, config=config)
-    result = get_optimizer(args.strategy, **_strategy_options(args)).optimize(problem)
+    checkpoint = _search_checkpoint(args, command="optimize")
+    result = get_optimizer(args.strategy, **_strategy_options(args)).optimize(
+        problem, checkpoint=checkpoint
+    )
     print(result.summary())
     document = result.to_dict(include_trace=False)
     mc_validated = False
@@ -243,13 +307,16 @@ def _cmd_pareto(args: argparse.Namespace) -> int:
     from repro.optimize import OptimizationProblem
 
     if args.circuit not in CIRCUITS:
-        raise SystemExit(f"unknown circuit {args.circuit!r}; available: {', '.join(CIRCUITS)}")
+        raise DesignError(f"unknown circuit {args.circuit!r}; available: {', '.join(CIRCUITS)}")
     floors = args.floors or list(DEFAULT_PARETO_FLOORS)
     args.snr_floor_db = max(floors)
     circuit = get_circuit(args.circuit)
     config = _optimize_config(args, args.engine)
     problem = OptimizationProblem.from_circuit(circuit, args.snr_floor_db, config=config)
-    front = problem.pareto(floors, strategy=args.strategy, **_strategy_options(args))
+    checkpoint = _search_checkpoint(args, command="pareto", floors=sorted(floors))
+    front = problem.pareto(
+        floors, strategy=args.strategy, checkpoint=checkpoint, **_strategy_options(args)
+    )
     print(front.summary())
     monotone = front.is_monotone()
     feasible = len(front.feasible_points)
@@ -295,13 +362,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_pareto_parser(sub)
     _add_bench_parser(sub)
     args = parser.parse_args(argv)
-    if args.command == "analyze":
-        return _cmd_analyze(args)
-    if args.command == "optimize":
-        return _cmd_optimize(args)
-    if args.command == "pareto":
-        return _cmd_pareto(args)
-    return _cmd_bench(args)
+    try:
+        if args.command == "analyze":
+            return _cmd_analyze(args)
+        if args.command == "optimize":
+            return _cmd_optimize(args)
+        if args.command == "pareto":
+            return _cmd_pareto(args)
+        return _cmd_bench(args)
+    except ReproError as exc:
+        # One structured diagnostic instead of a traceback: every library
+        # failure (unknown circuit, malformed checkpoint, infeasible
+        # search, dead worker pool) derives from ReproError.
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -115,6 +115,11 @@ class AnalysisConfig:
         (``None`` keeps the legacy single-stream draw).
     enclosure_tol:
         Absolute slack when judging sampled-vs-analytic enclosure.
+    mc_fallback:
+        Whether a failing *sharded* Monte-Carlo validation degrades to
+        the in-process single-stream validator (recording a
+        :class:`~repro.analysis.degradation.DegradationEvent`) instead
+        of aborting the whole analysis.
     """
 
     word_length: int = 12
@@ -125,6 +130,7 @@ class AnalysisConfig:
     seed: int | None = 0
     mc_workers: int | None = None
     enclosure_tol: float = 1e-12
+    mc_fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.word_length < 2:
@@ -172,6 +178,11 @@ class OptimizeConfig:
         Analyzer configuration and search-space box constraints.
     mc_workers:
         Default worker count of Monte-Carlo validation.
+    engine_fallback:
+        Whether a broken engine degrades down the
+        ``batched -> incremental -> fresh`` chain (each fallback logged
+        as a :class:`~repro.analysis.degradation.DegradationEvent` on
+        the problem) instead of aborting the search.
     """
 
     strategy: str = "greedy"
@@ -187,6 +198,7 @@ class OptimizeConfig:
     quantization: str = "round"
     overflow: str = "saturate"
     mc_workers: int | None = None
+    engine_fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:

@@ -30,6 +30,8 @@ __all__ = [
     "InfeasibleConstraintError",
     "DesignError",
     "JobError",
+    "CheckpointError",
+    "FaultInjectionError",
 ]
 
 
@@ -124,5 +126,20 @@ class JobError(ReproError):
 
     Carries the failing job's captured error and traceback when a job
     raised, or a broken-pool diagnosis when a worker process died
-    without reporting a result.
+    without reporting a result.  ``completed`` holds the successful
+    :class:`~repro.jobs.spec.JobResult` objects the batch had already
+    finished when it aborted, so callers can salvage partial work even
+    without a checkpoint.
     """
+
+    def __init__(self, message: str, completed: "list | None" = None) -> None:
+        super().__init__(message)
+        self.completed = list(completed) if completed else []
+
+
+class CheckpointError(JobError):
+    """Raised for unreadable, mismatched, or unwritable job checkpoints."""
+
+
+class FaultInjectionError(JobError):
+    """Transient failure injected by a :class:`~repro.jobs.faults.FaultPlan`."""

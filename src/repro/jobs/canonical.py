@@ -11,7 +11,11 @@ documents can be compared with ``==``:
   ``incremental_s``, ...);
 * every key containing ``speedup`` (timing ratios) and the
   timing-derived verdicts ``speedup_ok`` / ``passed`` of the perf suite;
-* the ``parallel`` block and any embedded ``workers`` count.
+* the ``parallel`` block and any embedded ``workers`` count;
+* the fault-tolerance bookkeeping (``job_attempts`` / ``job_timeouts``
+  per row, plus the retry/timeout/pool-restart counters inside the
+  ``parallel`` block): retries and timeout kills depend on scheduling
+  and injected faults, never on the merged answer.
 
 Everything else — bounds, moments, SNRs, costs, word lengths, seeds,
 enclosure and validation verdicts — must match bit for bit.
@@ -34,6 +38,12 @@ _VOLATILE_KEYS = {
     "passed",
     "inner_loop_method",
     "inner_loop_method_cpu",
+    # Fault-tolerance layer: how many tries a row took (and whether it
+    # was replayed from a checkpoint) is execution-shape, not answer.
+    "job_attempts",
+    "job_timeouts",
+    "job_resumed",
+    "fault_injection",
 }
 
 

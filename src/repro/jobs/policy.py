@@ -1,0 +1,97 @@
+"""Retry and timeout policy for fault-tolerant job execution.
+
+A :class:`RetryPolicy` bounds how many times the runner re-executes a
+failed (raised, timed-out, or pool-killed) job and how long it waits
+between attempts.  The backoff grows exponentially and is jittered
+**deterministically**: the jitter fraction for attempt *n* of job *key*
+derives from ``derive_seed(seed, "retry", key, attempt)``, never from
+wall-clock entropy, so two runs of the same batch sleep the same
+schedule.  Retries therefore perturb only *when* a job runs — by
+construction of :func:`~repro.jobs.spec.derive_seed` they cannot perturb
+what it computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import JobError
+from repro.jobs.spec import derive_seed
+
+__all__ = ["RetryPolicy", "ExecutionContext", "NO_RETRY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts a job gets, and how long to wait between them.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total execution budget per job (first run included).  ``1``
+        disables retries entirely.
+    backoff_s:
+        Delay before the second attempt; attempt *n* waits
+        ``backoff_s * backoff_factor**(n - 1)`` capped at
+        ``max_backoff_s``.
+    backoff_factor:
+        Exponential growth factor of the delay.
+    max_backoff_s:
+        Upper bound on any single delay.
+    jitter:
+        Fractional half-width of the deterministic jitter band: a delay
+        ``d`` becomes ``d * (1 + jitter * u)`` with ``u`` in ``[-1, 1)``
+        derived from the job key and attempt number.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if int(self.max_attempts) < 1:
+            raise JobError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_s < 0.0 or self.max_backoff_s < 0.0:
+            raise JobError("backoff_s and max_backoff_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise JobError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise JobError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def allows(self, attempt: int) -> bool:
+        """True when a job that just finished ``attempt`` may run again."""
+        return attempt < self.max_attempts
+
+    def delay_s(self, key: str, attempt: int, seed: int | None = None) -> float:
+        """Deterministic sleep before re-running ``key`` after ``attempt``.
+
+        The jitter draw is a pure function of ``(seed, key, attempt)`` so
+        a re-run of the same batch backs off identically.
+        """
+        if self.backoff_s <= 0.0:
+            return 0.0
+        delay = min(self.backoff_s * self.backoff_factor ** (attempt - 1), self.max_backoff_s)
+        if self.jitter > 0.0:
+            unit = derive_seed(seed or 0, "retry", key, attempt) / 2**32  # [0, 1)
+            delay *= 1.0 + self.jitter * (2.0 * unit - 1.0)
+        return max(delay, 0.0)
+
+
+#: Sentinel policy for "run once, never retry" — the runner default.
+NO_RETRY = RetryPolicy(max_attempts=1, backoff_s=0.0, jitter=0.0)
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Per-attempt context the runner hands to :func:`execute_job`.
+
+    Picklable (it crosses the process boundary with the spec).  The
+    ``fault_plan`` is consulted *before* the job body runs, so an
+    injected fault never perturbs a successful attempt's value.
+    """
+
+    attempt: int = 1
+    fault_plan: Any = None

@@ -78,6 +78,13 @@ class JobResult:
     (``time.perf_counter`` / ``time.process_time``), excluding pickling
     and queue latency — ``cpu_s`` is the scheduling-noise-resistant
     number CI gates prefer on shared runners.
+
+    The fault-tolerance layer adds bookkeeping that is **volatile by
+    construction** (it depends on scheduling, not on the answer):
+    ``attempts`` counts executions of this job including the final one,
+    ``timeouts`` counts attempts killed for exceeding the runner's
+    wall-clock budget, and ``resumed`` marks a result replayed from a
+    checkpoint instead of recomputed.
     """
 
     key: str
@@ -88,6 +95,9 @@ class JobResult:
     wall_s: float = 0.0
     cpu_s: float = 0.0
     seed: int | None = None
+    attempts: int = 1
+    timeouts: int = 0
+    resumed: bool = False
 
     def to_dict(self) -> dict:
         """JSON-serializable view (drops ``value``, which may not be JSON)."""
@@ -98,4 +108,7 @@ class JobResult:
             "wall_s": self.wall_s,
             "cpu_s": self.cpu_s,
             "seed": self.seed,
+            "attempts": self.attempts,
+            "timeouts": self.timeouts,
+            "resumed": self.resumed,
         }

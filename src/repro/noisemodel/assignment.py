@@ -110,6 +110,35 @@ class WordLengthAssignment:
             overflow=OverflowMode.coerce(overflow),
         )
 
+    @classmethod
+    def from_doc(cls, doc: Mapping) -> "WordLengthAssignment":
+        """Rebuild an assignment from its :meth:`to_doc` JSON document."""
+        formats = {
+            str(name): FixedPointFormat(int(spec[0]), int(spec[1]), bool(spec[2]))
+            for name, spec in dict(doc.get("formats", {})).items()
+        }
+        return cls(
+            formats=formats,
+            quantization=QuantizationMode.coerce(doc.get("quantization", "round")),
+            overflow=OverflowMode.coerce(doc.get("overflow", "saturate")),
+        )
+
+    def to_doc(self) -> dict:
+        """JSON-serializable document round-tripping through :meth:`from_doc`.
+
+        Unlike :meth:`word_lengths` this preserves the integer/fractional
+        split and the signedness per node, so checkpoints can resume a
+        search from the *exact* design, not a lossy summary of it.
+        """
+        return {
+            "formats": {
+                name: [fmt.integer_bits, fmt.fractional_bits, fmt.signed]
+                for name, fmt in sorted(self.formats.items())
+            },
+            "quantization": self.quantization.value,
+            "overflow": self.overflow.value,
+        }
+
     # ------------------------------------------------------------------ #
     # queries and updates
     # ------------------------------------------------------------------ #

@@ -113,10 +113,25 @@ class ParetoFront:
         )
 
 
+def _floor_key(floor: float) -> str:
+    return f"{floor:g}"
+
+
+def _resume_completed(checkpoint, unique_floors: Sequence[float]) -> Dict[str, dict]:
+    """Load the per-floor records of an interrupted sweep, if any."""
+    state = checkpoint.load() if checkpoint is not None else None
+    if not state or state.get("strategy") != "pareto":
+        return {}
+    completed = state.get("completed") or {}
+    wanted = {_floor_key(f) for f in unique_floors}
+    return {key: record for key, record in completed.items() if key in wanted}
+
+
 def pareto_front(
     problem,
     floors: Sequence[float],
     strategy: str | None = None,
+    checkpoint=None,
     **strategy_options: object,
 ) -> ParetoFront:
     """Sweep ``problem`` over ``floors`` and return the trade-off curve.
@@ -126,7 +141,15 @@ def pareto_front(
     ``strategy`` defaults to the problem config's strategy.  Floors are
     deduplicated and internally swept tightest-first (see module
     docstring); the returned front lists them loosest-first.
+
+    ``checkpoint`` (a :class:`~repro.jobs.checkpoint.SearchCheckpoint`)
+    persists each completed floor; a resumed sweep re-optimizes only the
+    floors missing from the snapshot, warm-started from the loosest
+    completed design exactly as the uninterrupted sweep would have been.
+    Resumed designs are bit-identical; ``analyzer_calls``/``runtime_s``
+    of resumed floors reflect the original run.
     """
+    from repro.noisemodel.assignment import WordLengthAssignment
     from repro.optimize.strategies import get_optimizer
 
     unique_floors = sorted({float(f) for f in floors}, reverse=True)
@@ -136,6 +159,7 @@ def pareto_front(
         strategy = getattr(problem.config, "strategy", "greedy")
     optimizer = get_optimizer(strategy, **strategy_options)
     front = ParetoFront(circuit=problem.name, strategy=str(strategy), method=problem.method)
+    completed = _resume_completed(checkpoint, unique_floors)
     warm_start = None
     scoped = problem
     for floor in unique_floors:
@@ -143,10 +167,31 @@ def pareto_front(
         # inherits the evaluation cache and lazily-built engines of the
         # previous one, which is the whole economy of the sweep.
         scoped = scoped.rescoped(floor)
-        result = optimizer.optimize(scoped, warm_start=warm_start)
-        front.results.append(result)
-        front.points.append(
-            ParetoPoint(
+        record = completed.get(_floor_key(floor))
+        if record is not None:
+            point = ParetoPoint(**{**record["point"], "word_lengths": dict(record["point"].get("word_lengths", {}))})
+            assignment = (
+                WordLengthAssignment.from_doc(record["assignment"])
+                if record.get("assignment") is not None
+                else None
+            )
+            result = OptimizationResult(
+                strategy=str(strategy),
+                method=problem.method,
+                circuit=problem.name,
+                snr_floor_db=floor,
+                margin_db=problem.margin_db,
+                assignment=assignment,
+                cost=point.cost,
+                snr_db=point.snr_db,
+                feasible=point.feasible,
+                analyzer_calls=point.analyzer_calls,
+                runtime_s=point.runtime_s,
+                extra={"resumed": True},
+            )
+        else:
+            result = optimizer.optimize(scoped, warm_start=warm_start)
+            point = ParetoPoint(
                 snr_floor_db=floor,
                 cost=result.cost,
                 snr_db=result.snr_db,
@@ -160,7 +205,18 @@ def pareto_front(
                     else {}
                 ),
             )
-        )
+            if checkpoint is not None:
+                completed[_floor_key(floor)] = {
+                    "point": point.to_dict(),
+                    "assignment": (
+                        result.assignment.to_doc()
+                        if result.assignment is not None
+                        else None
+                    ),
+                }
+                checkpoint.save({"strategy": "pareto", "completed": completed})
+        front.results.append(result)
+        front.points.append(point)
         if result.feasible and result.assignment is not None:
             warm_start = result.assignment
     # Fold the sweep's accumulated caches, engines and counters back into
@@ -171,4 +227,6 @@ def pareto_front(
     problem.analysis_log = log
     front.points.reverse()
     front.results.reverse()
+    if checkpoint is not None:
+        checkpoint.clear()
     return front

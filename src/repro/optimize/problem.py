@@ -30,7 +30,13 @@ from repro.dfg.node import OpType
 from repro.dfg.range_analysis import infer_ranges
 from repro.dfg.unroll import base_name as _base_name
 from repro.dfg.unroll import unroll_sequential
-from repro.errors import DivisionByZeroIntervalError, DomainError, OptimizationError
+from repro.errors import (
+    DivisionByZeroIntervalError,
+    DomainError,
+    NoiseModelError,
+    OptimizationError,
+    ReproError,
+)
 from repro.intervals.interval import Interval, RangeLike, coerce_interval, uniform_power
 from repro.noisemodel.analyzer import ANALYSIS_METHODS, DatapathNoiseAnalyzer
 from repro.noisemodel.assignment import WordLengthAssignment, ensure_range_coverage
@@ -219,6 +225,12 @@ class OptimizationProblem:
         #: Whether :meth:`evaluate` routes through the incremental engine
         #: (back-compat mirror of ``engine != "fresh"``).
         self.use_incremental = config.engine != "fresh"
+        #: Whether a broken engine degrades to the next-slower one
+        #: (``batched -> incremental -> fresh``) instead of raising.
+        self.engine_fallback = bool(getattr(config, "engine_fallback", True))
+        #: Structured :class:`~repro.analysis.degradation.DegradationEvent`
+        #: log of every fallback this problem has taken.
+        self.degradations: list = []
         #: Default worker count of :meth:`monte_carlo_snr`.  ``None``
         #: keeps the legacy single-stream validator; any integer selects
         #: the sharded validator, whose numbers are identical for every
@@ -347,28 +359,57 @@ class OptimizationProblem:
 
     def _analyze_unchecked(self, assignment: WordLengthAssignment) -> float:
         if not self.use_incremental:
-            analyzer = DatapathNoiseAnalyzer(
-                self.graph,
-                assignment,
-                self.input_ranges,
-                horizon=self.horizon,
-                bins=self.bins,
-            )
-            report = analyzer.analyze(self.method, output=self.output, contributions=False)
-            return report.noise_power
-        if self._incremental is None:
-            # Local import: repro.analysis imports repro.optimize at module
-            # scope (pipeline wiring); importing back lazily avoids the cycle.
-            from repro.analysis.incremental import IncrementalAnalyzer
+            return self._analyze_fresh(assignment)
+        try:
+            if self._incremental is None:
+                # Local import: repro.analysis imports repro.optimize at module
+                # scope (pipeline wiring); importing back lazily avoids the cycle.
+                from repro.analysis.incremental import IncrementalAnalyzer
 
-            self._incremental = IncrementalAnalyzer(
-                self.graph,
-                assignment,
-                self.input_ranges,
-                horizon=self.horizon,
-                bins=self.bins,
+                self._incremental = IncrementalAnalyzer(
+                    self.graph,
+                    assignment,
+                    self.input_ranges,
+                    horizon=self.horizon,
+                    bins=self.bins,
+                )
+            return self._incremental.noise_power(assignment, self.method, output=self.output)
+        except (DomainError, DivisionByZeroIntervalError):
+            raise  # candidate-level infeasibility, judged by _analyze
+        except ReproError as exc:
+            if not self.engine_fallback:
+                raise
+            self._degrade("incremental", "fresh", exc)
+            self._incremental = None
+            return self._analyze_fresh(assignment)
+
+    def _analyze_fresh(self, assignment: WordLengthAssignment) -> float:
+        analyzer = DatapathNoiseAnalyzer(
+            self.graph,
+            assignment,
+            self.input_ranges,
+            horizon=self.horizon,
+            bins=self.bins,
+        )
+        report = analyzer.analyze(self.method, output=self.output, contributions=False)
+        return report.noise_power
+
+    def _degrade(self, stage: str, to_engine: str, exc: Exception) -> None:
+        """Record one engine fallback and switch the problem onto it."""
+        # Local import: repro.analysis imports repro.optimize at module
+        # scope (pipeline wiring); importing back lazily avoids the cycle.
+        from repro.analysis.degradation import DegradationEvent
+
+        self.degradations.append(
+            DegradationEvent(
+                stage=stage,
+                from_engine=self.engine,
+                to_engine=to_engine,
+                reason=f"{type(exc).__name__}: {exc}",
             )
-        return self._incremental.noise_power(assignment, self.method, output=self.output)
+        )
+        self.engine = to_engine
+        self.use_incremental = to_engine != "fresh"
 
     def notify_accepted(self, assignment: WordLengthAssignment) -> None:
         """Tell the evaluator that ``assignment`` is the search's new current design.
@@ -404,15 +445,26 @@ class OptimizationProblem:
             # scope (pipeline wiring); importing back lazily avoids the cycle.
             from repro.analysis.batched import BatchedAnalyzer
 
-            self._batched = BatchedAnalyzer(
-                self.graph,
-                self.uniform(self.min_word_length),
-                self.input_ranges,
-                horizon=self.horizon,
-                bins=self.bins,
-                method=self.method,
-                ranges=self.ranges,
-            )
+            try:
+                self._batched = BatchedAnalyzer(
+                    self.graph,
+                    self.uniform(self.min_word_length),
+                    self.input_ranges,
+                    horizon=self.horizon,
+                    bins=self.bins,
+                    method=self.method,
+                    ranges=self.ranges,
+                )
+            except ReproError as exc:
+                if not self.engine_fallback:
+                    raise
+                if self.engine == "batched":
+                    self._degrade("batched-compile", "incremental", exc)
+                if isinstance(exc, NoiseModelError):
+                    raise
+                raise NoiseModelError(
+                    f"batched engine unavailable for {self.name!r}: {exc}"
+                ) from exc
         return self._batched
 
     def price_moves(
@@ -430,13 +482,26 @@ class OptimizationProblem:
         One vectorized pass replaces ``len(moves)`` analyzer probes; no
         caches or counters are touched.
         """
+        engine = self.batched_engine()  # compile failures degrade in there
         started = time.perf_counter()
         started_cpu = time.process_time()
-        noise = self.batched_engine().price_moves(
-            assignment, moves, method=self.method, output=self.output
-        )
-        self.analysis_time_s += time.perf_counter() - started
-        self.analysis_cpu_s += time.process_time() - started_cpu
+        try:
+            noise = engine.price_moves(
+                assignment, moves, method=self.method, output=self.output
+            )
+        except ReproError as exc:
+            if not self.engine_fallback:
+                raise
+            if self.engine == "batched":
+                self._degrade("batched-price", "incremental", exc)
+            if isinstance(exc, NoiseModelError):
+                raise
+            raise NoiseModelError(
+                f"batched pricing failed for {self.name!r}: {exc}"
+            ) from exc
+        finally:
+            self.analysis_time_s += time.perf_counter() - started
+            self.analysis_cpu_s += time.process_time() - started_cpu
         return noise
 
     @property

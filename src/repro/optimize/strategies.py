@@ -46,6 +46,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import NoiseModelError, OptimizationError
+from repro.jobs.checkpoint import SearchCheckpoint
 from repro.noisemodel.assignment import WordLengthAssignment, ensure_range_coverage
 from repro.optimize.problem import DesignEvaluation, OptimizationProblem
 from repro.optimize.result import IterationRecord, OptimizationResult
@@ -127,6 +128,7 @@ class WordLengthOptimizer(abc.ABC):
         self,
         problem: OptimizationProblem,
         warm_start: WordLengthAssignment | None = None,
+        checkpoint: SearchCheckpoint | None = None,
     ) -> OptimizationResult:
         """Run the search, timing it and accounting analyzer calls.
 
@@ -134,13 +136,24 @@ class WordLengthOptimizer(abc.ABC):
         the previous point of a Pareto sweep); a strategy uses it when
         it is feasible under this problem's floor and never returns a
         design worse than the best feasible one it saw.
+
+        ``checkpoint`` (a :class:`~repro.jobs.checkpoint.SearchCheckpoint`)
+        makes the search crash-safe: strategies that support it persist
+        their state as they go (greedy after every accepted shave,
+        annealing periodically), an interrupted run resumes from the
+        snapshot instead of from scratch, and a run that completes
+        clears the snapshot.  The resumed *design* is identical to the
+        uninterrupted one; trace lengths and analyzer-call counts may
+        differ (in-memory caches do not survive a crash).
         """
         trace: List[IterationRecord] = []
         calls_before = problem.analyzer_calls
         hits_before = problem.evaluate_cache_hits
         started = time.perf_counter()
-        best, baseline_cost, baseline_w = self._search(problem, trace, warm_start)
+        best, baseline_cost, baseline_w = self._search(problem, trace, warm_start, checkpoint)
         runtime = time.perf_counter() - started
+        if checkpoint is not None:
+            checkpoint.clear()
         extra = {"evaluate_cache_hits": float(problem.evaluate_cache_hits - hits_before)}
         if best is None:
             return OptimizationResult(
@@ -184,6 +197,7 @@ class WordLengthOptimizer(abc.ABC):
         problem: OptimizationProblem,
         trace: List[IterationRecord],
         warm_start: WordLengthAssignment | None = None,
+        checkpoint: SearchCheckpoint | None = None,
     ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
         """Return ``(best_eval, baseline_cost, baseline_word_length)``."""
 
@@ -198,9 +212,11 @@ class UniformSweepOptimizer(WordLengthOptimizer):
         problem: OptimizationProblem,
         trace: List[IterationRecord],
         warm_start: WordLengthAssignment | None = None,
+        checkpoint: SearchCheckpoint | None = None,
     ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
         # warm_start intentionally unused: the sweep is already minimal
-        # over its (one-dimensional) search space.
+        # over its (one-dimensional) search space.  checkpoint likewise:
+        # the sweep re-derives in seconds, there is no state worth saving.
         evaluation, word_length, _last = _sweep_uniform(problem, trace)
         if evaluation is None:
             return None, None, None
@@ -234,6 +250,7 @@ class GreedyBitStealingOptimizer(WordLengthOptimizer):
         problem: OptimizationProblem,
         trace: List[IterationRecord],
         warm_start: WordLengthAssignment | None = None,
+        checkpoint: SearchCheckpoint | None = None,
     ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
         uniform_eval, uniform_w, _last = _sweep_uniform(problem, trace)
         if uniform_eval is None or uniform_w is None:
@@ -249,11 +266,53 @@ class GreedyBitStealingOptimizer(WordLengthOptimizer):
         if warm_eval is not None:
             starts.append(("warm", warm_eval))
 
+        # A snapshot replays the interrupted descent from its last
+        # accepted shave (same blocked set, so the same moves follow)
+        # and restores the best design of every descent already done —
+        # the resumed search returns the design an uninterrupted run
+        # would have.
+        start_index = 0
+        resume_eval: DesignEvaluation | None = None
+        resume_blocked: set[str] = set()
         best = uniform_eval
-        for tag, start in starts:
-            final = self._descend(problem, start, trace, tag)
+        state = checkpoint.load() if checkpoint is not None else None
+        if state and state.get("strategy") == self.name:
+            start_index = int(state.get("start_index", 0))
+            if state.get("best") is not None:
+                best_eval = problem.evaluate(WordLengthAssignment.from_doc(state["best"]))
+                _record(trace, problem, "resume best", best_eval, best_eval.feasible)
+                if best_eval.feasible and best_eval.cost < best.cost:
+                    best = best_eval
+            if state.get("assignment") is not None:
+                resume_eval = problem.evaluate(
+                    WordLengthAssignment.from_doc(state["assignment"])
+                )
+                resume_blocked = set(state.get("blocked", ()))
+                _record(trace, problem, "resume descent", resume_eval, resume_eval.feasible)
+
+        for index, (tag, start) in enumerate(starts):
+            if index < start_index:
+                continue
+            blocked: set[str] = set()
+            if index == start_index and resume_eval is not None and resume_eval.feasible:
+                start = resume_eval
+                blocked = set(resume_blocked)
+            final = self._descend(
+                problem, start, trace, tag,
+                blocked=blocked, checkpoint=checkpoint, start_index=index, best=best,
+            )
             if final.feasible and final.cost < best.cost:
                 best = final
+            if checkpoint is not None:
+                checkpoint.save(
+                    {
+                        "strategy": self.name,
+                        "start_index": index + 1,
+                        "assignment": None,
+                        "blocked": [],
+                        "best": best.assignment.to_doc() if best.feasible else None,
+                    }
+                )
         return best, uniform_eval.cost, uniform_w
 
     def _descend(
@@ -262,9 +321,14 @@ class GreedyBitStealingOptimizer(WordLengthOptimizer):
         start: DesignEvaluation,
         trace: List[IterationRecord],
         tag: str,
+        blocked: set[str] | None = None,
+        checkpoint: SearchCheckpoint | None = None,
+        start_index: int = 0,
+        best: DesignEvaluation | None = None,
     ) -> DesignEvaluation:
         current = start
-        blocked: set[str] = set()
+        blocked = set() if blocked is None else blocked
+        best_doc = best.assignment.to_doc() if best is not None and best.feasible else None
         use_batched = getattr(problem, "engine", "incremental") == "batched"
         problem.notify_accepted(current.assignment)
         for _step in range(self.max_iterations):
@@ -291,6 +355,17 @@ class GreedyBitStealingOptimizer(WordLengthOptimizer):
                 _record(trace, problem, action, evaluation, True)
                 current = evaluation
                 problem.notify_accepted(current.assignment)
+                if checkpoint is not None:
+                    checkpoint.save(
+                        {
+                            "strategy": self.name,
+                            "start_index": start_index,
+                            "tag": tag,
+                            "assignment": current.assignment.to_doc(),
+                            "blocked": sorted(blocked),
+                            "best": best_doc,
+                        }
+                    )
             else:
                 _record(trace, problem, action, evaluation, False)
                 blocked.add(node)
@@ -427,6 +502,8 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
         self.initial_temperature_scale = float(initial_temperature_scale)
         self.downhill_bias = float(downhill_bias)
         self.chains = int(chains)
+        #: How many Metropolis steps between checkpoint snapshots.
+        self.checkpoint_every = 20
 
     def _energy(
         self, problem: OptimizationProblem, evaluation: DesignEvaluation, scale: float
@@ -439,6 +516,7 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
         problem: OptimizationProblem,
         trace: List[IterationRecord],
         warm_start: WordLengthAssignment | None = None,
+        checkpoint: SearchCheckpoint | None = None,
     ) -> Tuple[DesignEvaluation | None, float | None, int | None]:
         uniform_eval, uniform_w, _last = _sweep_uniform(problem, trace)
         if uniform_eval is None or uniform_w is None:
@@ -460,6 +538,27 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
         if warm_eval is not None and warm_eval.cost < best.cost:
             best = warm_eval
 
+        # A snapshot captures the full Metropolis state — step, temperature,
+        # current/best designs and the PCG64 generator state — so a resumed
+        # chain draws the exact same proposal sequence an uninterrupted run
+        # would have.  The batched multi-chain path is not checkpointed
+        # (one vectorized pass is cheap to redo); only the single-chain
+        # loop below saves and restores state.
+        start_step = 0
+        state = checkpoint.load() if checkpoint is not None else None
+        if state and state.get("strategy") == self.name and self.chains == 1:
+            start_step = int(state.get("step", 0))
+            temperature_override = float(state["temperature"])
+            current = problem.evaluate(WordLengthAssignment.from_doc(state["current"]))
+            _record(trace, problem, "resume current", current, current.feasible)
+            resumed_best = problem.evaluate(WordLengthAssignment.from_doc(state["best"]))
+            _record(trace, problem, "resume best", resumed_best, resumed_best.feasible)
+            if resumed_best.feasible:
+                best = resumed_best
+            rng.bit_generator.state = state["rng"]
+        else:
+            temperature_override = None
+
         if self.chains > 1 and getattr(problem, "engine", "incremental") == "batched":
             try:
                 return self._search_batched(
@@ -472,6 +571,8 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
         # high temperature can wander, low temperature cannot stay infeasible.
         penalty_scale = uniform_eval.cost
         temperature = max(self.initial_temperature_scale * current.cost, 1e-9)
+        if temperature_override is not None:
+            temperature = temperature_override
         tunable = [
             node
             for node in problem.tunable
@@ -482,7 +583,7 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
 
         current_energy = self._energy(problem, current, penalty_scale)
         problem.notify_accepted(current.assignment)
-        for _step in range(self.iterations):
+        for _step in range(start_step, self.iterations):
             node = tunable[int(rng.integers(len(tunable)))]
             fmt = current.assignment.format_of(node)
             step = -1 if rng.random() < self.downhill_bias else +1
@@ -512,6 +613,17 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
                 if current.feasible and current.cost < best.cost:
                     best = current
             temperature = max(temperature * self.cooling, 1e-9)
+            if checkpoint is not None and (_step + 1) % self.checkpoint_every == 0:
+                checkpoint.save(
+                    {
+                        "strategy": self.name,
+                        "step": _step + 1,
+                        "temperature": temperature,
+                        "current": current.assignment.to_doc(),
+                        "best": best.assignment.to_doc(),
+                        "rng": rng.bit_generator.state,
+                    }
+                )
         return best, uniform_eval.cost, uniform_w
 
     def _search_batched(
