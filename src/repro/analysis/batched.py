@@ -221,6 +221,7 @@ class BatchedAnalyzer:
         assignments: Sequence[WordLengthAssignment],
         method: str | None = None,
         output: str | None = None,
+        confidence: float | None = None,
     ) -> np.ndarray:
         """Output noise power of every candidate: ``noise_power[n]``.
 
@@ -229,6 +230,11 @@ class BatchedAnalyzer:
         either).  A candidate that cannot be analyzed — domain violation,
         or range coverage impossible within the widening cap — prices to
         ``inf``, the "infeasible, back away" verdict of the scalar path.
+
+        A non-``None`` ``confidence`` switches the priced functional to
+        the confidence-bounded noise measure; the compiled IA program
+        only computes mean-square power, so those batches route through
+        the incremental fallback regardless of method.
         """
         method = self.method if method is None else str(method).lower()
         candidates: List[WordLengthAssignment | None] = []
@@ -237,8 +243,8 @@ class BatchedAnalyzer:
                 candidates.append(self._widen(assignment))
             except NoiseModelError:
                 candidates.append(None)
-        if method != "ia":
-            return self._price_fallback(candidates, method, output)
+        if method != "ia" or confidence is not None:
+            return self._price_fallback(candidates, method, output, confidence)
         n = len(candidates)
         program = self._compile(self._analyzer._resolve_output(output))
         if program.failed is not None:
@@ -272,6 +278,7 @@ class BatchedAnalyzer:
         moves: Sequence[Tuple[str, int]],
         method: str | None = None,
         output: str | None = None,
+        confidence: float | None = None,
     ) -> np.ndarray:
         """Price every single-node fractional-bit move in one pass.
 
@@ -284,12 +291,14 @@ class BatchedAnalyzer:
 
         This is the greedy inner loop: arrays stay single-lane wherever
         no move disturbs them, so the pass costs one vectorized sweep
-        rather than ``len(moves)`` cone re-propagations.
+        rather than ``len(moves)`` cone re-propagations.  A non-``None``
+        ``confidence`` routes through the incremental fallback (the
+        compiled program prices mean-square power only).
         """
         method = self.method if method is None else str(method).lower()
-        if method != "ia":
+        if method != "ia" or confidence is not None:
             candidates = [self._move_candidate(assignment, node, frac) for node, frac in moves]
-            return self._price_fallback(candidates, method, output)
+            return self._price_fallback(candidates, method, output, confidence)
         n = len(moves)
         program = self._compile(self._analyzer._resolve_output(output))
         if program.failed is not None:
@@ -369,6 +378,7 @@ class BatchedAnalyzer:
         candidates: Sequence[WordLengthAssignment | None],
         method: str,
         output: str | None,
+        confidence: float | None = None,
     ) -> np.ndarray:
         """Bit-equivalent per-candidate probes through the incremental engine."""
         if method not in ANALYSIS_METHODS:
@@ -397,7 +407,7 @@ class BatchedAnalyzer:
             self.fallback_probes += 1
             try:
                 noise[j] = self._fallback.noise_power(
-                    candidate, method, output=output, commit=False
+                    candidate, method, output=output, commit=False, confidence=confidence
                 )
             except (DomainError, DivisionByZeroIntervalError):
                 noise[j] = np.inf

@@ -45,7 +45,12 @@ from repro.errors import NoiseModelError
 from repro.histogram.pdf import HistogramPDF
 from repro.intervals.affine import AffineContext
 from repro.intervals.interval import Interval
-from repro.noisemodel.analyzer import ANALYSIS_METHODS, DatapathNoiseAnalyzer, NoiseReport
+from repro.noisemodel.analyzer import (
+    ANALYSIS_METHODS,
+    DatapathNoiseAnalyzer,
+    NoiseReport,
+    propagation_algebra,
+)
 from repro.noisemodel.assignment import WordLengthAssignment
 from repro.noisemodel.sources import source_for_node
 
@@ -441,9 +446,13 @@ class IncrementalAnalyzer:
         analyzer = self.analyzer
         target = analyzer._resolve_output(output)
         self.stats.analyses += 1
-        errors = self._update(assignment, method, target, commit)
+        # The probabilistic method rides the AA propagation rules and
+        # caches (state keys are per *algebra*, so "pna" and "aa" probes
+        # share cones); only the report/noise-measure stage differs.
+        algebra = propagation_algebra(method)
+        errors = self._update(assignment, algebra, target, commit)
         builder = getattr(analyzer, f"_report_{method}")
-        return builder(target, errors[target], self._values[method], contributions)
+        return builder(target, errors[target], self._values[algebra], contributions)
 
     def noise_power(
         self,
@@ -451,18 +460,21 @@ class IncrementalAnalyzer:
         method: str = "sna",
         output: str | None = None,
         commit: bool = False,
+        confidence: float | None = None,
     ) -> float:
         """Output noise power of ``assignment`` — the probe fast path.
 
         Identical to ``analyze(...).noise_power`` but skips report
         construction entirely; a word-length search prices thousands of
-        candidates from this single number.
+        candidates from this single number.  ``confidence`` switches the
+        measure from mean-square power to the confidence-bounded reading
+        (see :meth:`DatapathNoiseAnalyzer.effective_noise_power`).
         """
         analyzer = self.analyzer
         target = analyzer._resolve_output(output)
         self.stats.analyses += 1
-        errors = self._update(assignment, method, target, commit)
-        return analyzer.noise_power_of(method, errors[target])
+        errors = self._update(assignment, propagation_algebra(method), target, commit)
+        return analyzer.effective_noise_power(method, errors[target], confidence)
 
     def commit(self, assignment: WordLengthAssignment) -> None:
         """Promote ``assignment`` to the committed baseline of every state.

@@ -25,7 +25,80 @@ from repro.histogram.sampling import sample_histogram
 from repro.intervals.interval import Interval
 from repro.noisemodel.assignment import WordLengthAssignment
 
-__all__ = ["MonteCarloResult", "monte_carlo_error", "monte_carlo_error_sharded"]
+__all__ = [
+    "MonteCarloResult",
+    "draw_stimulus",
+    "monte_carlo_error",
+    "monte_carlo_error_sharded",
+]
+
+#: Accepted policies for stimulus PDFs whose support exceeds the
+#: declared input range.
+OUT_OF_RANGE_POLICIES = ("raise", "clip")
+
+
+def draw_stimulus(
+    graph: DFG,
+    input_ranges: Mapping[str, Interval],
+    samples: int,
+    steps: int,
+    rng: np.random.Generator,
+    input_pdfs: Mapping[str, HistogramPDF] | None = None,
+    out_of_range: str = "raise",
+) -> Dict[str, np.ndarray]:
+    """Draw the ``(samples, steps)`` stimulus matrix for every graph input.
+
+    Inputs are drawn i.i.d. per sample and per time step — uniformly over
+    their declared range, or from their entry in ``input_pdfs`` when
+    given.  A PDF whose support pokes outside the declared range would
+    silently exercise overflow behaviour the analytic models never saw
+    (the declared ranges size the fixed-point formats), so the support is
+    checked first: ``out_of_range="raise"`` (the default) rejects such a
+    PDF with :class:`NoiseModelError`, ``out_of_range="clip"`` clips the
+    drawn samples into the declared range instead.
+
+    Shared by the float64 Monte-Carlo validator and the bit-true
+    arbitrary-precision oracle so both see *identical* stimulus for the
+    same ``rng`` state.
+    """
+    if out_of_range not in OUT_OF_RANGE_POLICIES:
+        raise NoiseModelError(
+            f"unknown out_of_range policy {out_of_range!r}; "
+            f"expected one of {OUT_OF_RANGE_POLICIES}"
+        )
+    input_pdfs = dict(input_pdfs or {})
+    stimulus: Dict[str, np.ndarray] = {}
+    for name in graph.inputs():
+        if name in input_pdfs:
+            pdf = input_pdfs[name]
+            interval = input_ranges.get(name)
+            if interval is not None:
+                support = Interval(float(pdf.edges[0]), float(pdf.edges[-1]))
+                slack = 1e-12 * max(1.0, abs(interval.lo), abs(interval.hi))
+                inside = (
+                    support.lo >= interval.lo - slack
+                    and support.hi <= interval.hi + slack
+                )
+                if not inside and out_of_range == "raise":
+                    raise NoiseModelError(
+                        f"input PDF for {name!r} has support "
+                        f"[{support.lo!r}, {support.hi!r}] outside the declared "
+                        f"range [{interval.lo!r}, {interval.hi!r}]; samples out "
+                        "of range would exercise overflow behaviour the "
+                        "analytic models never saw — narrow the PDF, widen the "
+                        "range, or pass out_of_range='clip' to clip the draws"
+                    )
+            draw = sample_histogram(pdf, samples * steps, rng=rng)
+            if interval is not None:
+                draw = np.clip(draw, interval.lo, interval.hi)
+        else:
+            try:
+                interval = input_ranges[name]
+            except KeyError as exc:
+                raise NoiseModelError(f"missing input range for {name!r}") from exc
+            draw = rng.uniform(interval.lo, interval.hi, size=samples * steps)
+        stimulus[name] = draw.reshape(samples, steps)
+    return stimulus
 
 
 @dataclass(frozen=True)
@@ -65,14 +138,17 @@ def monte_carlo_error(
     input_pdfs: Mapping[str, HistogramPDF] | None = None,
     output: str | None = None,
     rng: np.random.Generator | int | None = 0,
+    out_of_range: str = "raise",
 ) -> MonteCarloResult:
     """Sample the true fixed-point error of one graph output.
 
     Inputs are drawn i.i.d. per sample and per time step — uniformly over
     their declared range, or from their entry in ``input_pdfs`` when
-    given.  Sequential graphs are simulated for ``steps`` samples from
-    zero state and the error is measured at the final step, matching the
-    finite-horizon convention of the unrolled analytic methods.
+    given (see :func:`draw_stimulus` for the support-vs-range policy
+    selected by ``out_of_range``).  Sequential graphs are simulated for
+    ``steps`` samples from zero state and the error is measured at the
+    final step, matching the finite-horizon convention of the unrolled
+    analytic methods.
 
     ``rng`` defaults to the fixed seed 0 so every validator call — and
     therefore every ``BENCH_*.json`` number derived from one — is
@@ -92,18 +168,15 @@ def monte_carlo_error(
     elif output not in outputs:
         raise NoiseModelError(f"unknown output {output!r}; graph outputs: {outputs}")
 
-    input_pdfs = dict(input_pdfs or {})
-    stimulus: Dict[str, np.ndarray] = {}
-    for name in graph.inputs():
-        if name in input_pdfs:
-            draw = sample_histogram(input_pdfs[name], samples * steps, rng=rng)
-        else:
-            try:
-                interval = input_ranges[name]
-            except KeyError as exc:
-                raise NoiseModelError(f"missing input range for {name!r}") from exc
-            draw = rng.uniform(interval.lo, interval.hi, size=samples * steps)
-        stimulus[name] = draw.reshape(samples, steps)
+    stimulus = draw_stimulus(
+        graph,
+        input_ranges,
+        samples,
+        steps,
+        rng,
+        input_pdfs=input_pdfs,
+        out_of_range=out_of_range,
+    )
 
     exact = simulate_batch(graph, stimulus, steps=steps, record=[output])
     quantized = simulate_fixed_point_batch(
@@ -122,6 +195,9 @@ def monte_carlo_error(
 def _result_from_errors(
     output: str, samples: int, steps: int, errors: np.ndarray
 ) -> MonteCarloResult:
+    # The frozen dataclass would otherwise carry a mutable ndarray:
+    # downstream code could corrupt cached validator results in place.
+    errors.setflags(write=False)
     return MonteCarloResult(
         output=output,
         samples=samples,
@@ -144,6 +220,7 @@ def _mc_chunk_job(
     input_pdfs: Mapping[str, HistogramPDF] | None,
     output: str | None,
     seed: int,
+    out_of_range: str = "raise",
 ) -> np.ndarray:
     """One shard of a sharded Monte-Carlo run (module-level: picklable)."""
     return monte_carlo_error(
@@ -155,6 +232,7 @@ def _mc_chunk_job(
         input_pdfs=input_pdfs,
         output=output,
         rng=seed,
+        out_of_range=out_of_range,
     ).errors
 
 
@@ -169,6 +247,7 @@ def monte_carlo_error_sharded(
     seed: int = 0,
     workers: int = 1,
     chunk_size: int = 4096,
+    out_of_range: str = "raise",
 ) -> MonteCarloResult:
     """Sharded :func:`monte_carlo_error` with worker-count-independent draws.
 
@@ -206,6 +285,7 @@ def monte_carlo_error_sharded(
                 input_pdfs,
                 output,
                 derive_seed(seed, "mc", index),
+                out_of_range,
             ),
             seed=derive_seed(seed, "mc", index),
         )

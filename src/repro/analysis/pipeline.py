@@ -17,8 +17,9 @@ which runs, in order:
    paper's uniform baseline), with a coverage pass that widens any format
    whose representable range would clip its node's value range;
 4. per-method error propagation (``ia`` / ``aa`` / ``taylor`` / ``sna``
-   via :class:`~repro.noisemodel.analyzer.DatapathNoiseAnalyzer`) and/or
-   the vectorized ``montecarlo`` validator;
+   / ``pna`` via :class:`~repro.noisemodel.analyzer.DatapathNoiseAnalyzer`),
+   the vectorized ``montecarlo`` validator, and/or the opt-in
+   arbitrary-precision ``oracle`` referee;
 5. report assembly: per-node ranges and formats, per-method error
    bounds / moments / SNR / runtime, and Monte-Carlo enclosure verdicts.
 """
@@ -55,10 +56,15 @@ from repro.optimize import (
 )
 from repro.symbols.expression import Expression
 
-__all__ = ["NoiseAnalysisPipeline", "ALL_METHODS"]
+__all__ = ["NoiseAnalysisPipeline", "ALL_METHODS", "OPTIONAL_METHODS"]
 
-#: Every method the pipeline knows how to run, in canonical order.
+#: Every method the pipeline runs by default, in canonical order.
 ALL_METHODS = ANALYSIS_METHODS + ("montecarlo",)
+
+#: Methods accepted by name but never part of the default sweep: the
+#: arbitrary-precision oracle walks a scalar mpmath loop per sample, so
+#: it must be asked for explicitly.
+OPTIONAL_METHODS = ("oracle",)
 
 
 class NoiseAnalysisPipeline:
@@ -120,6 +126,8 @@ class NoiseAnalysisPipeline:
         self.mc_workers = config.mc_workers
         self.enclosure_tol = float(config.enclosure_tol)
         self.mc_fallback = bool(getattr(config, "mc_fallback", True))
+        self.oracle_samples = int(config.oracle_samples)
+        self.oracle_precision_bits = int(config.oracle_precision_bits)
         #: :class:`~repro.analysis.degradation.DegradationEvent` log —
         #: appended to (never cleared) whenever a sharded Monte-Carlo
         #: validation had to fall back to the in-process validator.
@@ -150,7 +158,9 @@ class NoiseAnalysisPipeline:
             the pipeline's ``word_length``.
         method:
             One method name, an iterable of names, or ``None`` for all of
-            ``ia, aa, taylor, sna, montecarlo``.
+            ``ia, aa, taylor, sna, pna, montecarlo``.  The
+            arbitrary-precision ``oracle`` never runs by default; request
+            it by name.
         input_ranges:
             Range per input (``Interval`` or ``(lo, hi)``).  Required
             unless ``circuit`` carries its own.
@@ -261,6 +271,44 @@ class NoiseAnalysisPipeline:
                     runtime_s=elapsed,
                     extra={"samples": float(mc_result.samples), "steps": float(mc_result.steps)},
                 )
+            elif method_name == "oracle":
+                # late import: keeps mpmath off the hot path of every
+                # default analysis run
+                from repro.analysis.oracle import oracle_error
+
+                oracle_result = oracle_error(
+                    graph,
+                    assignment,
+                    ranges_in,
+                    samples=self.oracle_samples,
+                    steps=self.horizon,
+                    input_pdfs=input_pdfs,
+                    output=out_node,
+                    rng=self.seed,
+                    precision_bits=self.oracle_precision_bits,
+                )
+                elapsed = time.perf_counter() - started
+                noise_power = oracle_result.noise_power
+                snr = (
+                    10.0 * math.log10(signal_power / noise_power)
+                    if noise_power > 0 and signal_power > 0
+                    else float("inf")
+                )
+                results[method_name] = MethodResult(
+                    method="oracle",
+                    lower=oracle_result.lower,
+                    upper=oracle_result.upper,
+                    mean=oracle_result.mean,
+                    variance=oracle_result.variance,
+                    noise_power=noise_power,
+                    snr_db=snr,
+                    runtime_s=elapsed,
+                    extra={
+                        "samples": float(oracle_result.samples),
+                        "steps": float(oracle_result.steps),
+                        "precision_bits": float(oracle_result.precision_bits),
+                    },
+                )
             else:
                 if analyzer is None:
                     analyzer = DatapathNoiseAnalyzer(
@@ -288,7 +336,8 @@ class NoiseAnalysisPipeline:
         enclosure: Dict[str, bool] = {}
         if mc_result is not None:
             for method_name, result in results.items():
-                if method_name == "montecarlo":
+                if method_name in ("montecarlo", "oracle"):
+                    # both are empirical samplers, not enclosure claims
                     continue
                 enclosure[method_name] = mc_result.enclosed_by(
                     result.bounds, tol=self.enclosure_tol
@@ -348,10 +397,11 @@ class NoiseAnalysisPipeline:
             names = [method.lower()]
         else:
             names = [str(m).lower() for m in method]
-        unknown = [m for m in names if m not in ALL_METHODS]
+        known = ALL_METHODS + OPTIONAL_METHODS
+        unknown = [m for m in names if m not in known]
         if unknown:
             raise NoiseModelError(
-                f"unknown analysis method(s) {unknown}; choose from {ALL_METHODS}"
+                f"unknown analysis method(s) {unknown}; choose from {known}"
             )
         if not names:
             raise NoiseModelError("no analysis methods requested")

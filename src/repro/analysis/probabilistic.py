@@ -1,0 +1,98 @@
+"""Probabilistic noise analysis ("pna") and confidence-bounded noise power.
+
+The worst-case methods answer "how bad can the output error *ever* be";
+this module answers "how bad is it with probability ``confidence``".  The
+method propagates the same affine error forms as AA — the shared noise
+symbols are the dependency tracking, so correlated reconvergent paths
+combine symbolically instead of being treated as independent — and only
+at the very end reads the form probabilistically: each remaining symbol
+``eps_i`` is an independent uniform on ``[-1, 1]`` (the standard AA noise
+model), so the output error is the convolution of per-symbol uniforms
+``U(-|c_i|, +|c_i|)`` shifted by the center.  The existing histogram
+algebra performs the convolution.
+
+Two consumers:
+
+* :meth:`DatapathNoiseAnalyzer._report_pna` attaches the convolved PDF to
+  the report (``NoiseReport.error_pdf``) so pipelines and tables can show
+  distribution-level results next to the worst-case rows.
+* :func:`confidence_noise_power` turns ``OptimizeConfig(confidence=...)``
+  into the noise measure the SNR constraint judges: the squared
+  ``confidence``-quantile of ``|error|`` (``confidence=1.0`` degrades to
+  the squared worst-case enclosure magnitude, which every method can
+  supply).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import NoiseModelError
+from repro.histogram.pdf import HistogramPDF
+from repro.intervals.affine import AffineForm
+from repro.noisemodel.analyzer import PDF_METHODS, _enclosure_of
+
+__all__ = [
+    "PDF_METHODS",
+    "affine_error_pdf",
+    "confidence_noise_power",
+]
+
+
+def affine_error_pdf(error: "AffineForm | float", bins: int = 32) -> HistogramPDF:
+    """The error distribution encoded by an affine form.
+
+    Reads ``center + sum(c_i * eps_i)`` under the AA noise model
+    (``eps_i`` i.i.d. uniform on ``[-1, 1]``): the result is the
+    convolution of independent uniforms ``U(-|c_i|, +|c_i|)`` shifted by
+    ``center``.  Symbols shared between reconvergent paths have already
+    been summed coefficient-wise during propagation, so no independence
+    is assumed where the algebra proved dependence.
+
+    Convolving widest-first keeps the running support dominated by the
+    real spread instead of ping-ponging through near-degenerate bins.
+    """
+    if not isinstance(error, AffineForm):
+        return HistogramPDF.point(float(error))
+    radii = sorted((abs(coeff) for coeff in error.terms.values() if coeff != 0.0), reverse=True)
+    if not radii:
+        return HistogramPDF.point(error.center)
+    pdf = HistogramPDF.uniform(error.center - radii[0], error.center + radii[0], bins=bins)
+    for radius in radii[1:]:
+        pdf = pdf.add(HistogramPDF.uniform(-radius, radius, bins=bins), bins=bins)
+    return pdf
+
+
+def _error_distribution(method: str, error: Any, bins: int) -> HistogramPDF:
+    """The propagated error as a distribution, for quantile evaluation."""
+    if isinstance(error, HistogramPDF):
+        return error
+    if isinstance(error, (AffineForm, int, float)):
+        return affine_error_pdf(error, bins=bins)
+    raise NoiseModelError(
+        f"method {method!r} propagates {type(error).__name__} errors, which carry "
+        f"no distribution; fractional confidence levels need a PDF-producing "
+        f"method ({', '.join(PDF_METHODS)}) — or confidence=1.0 for the "
+        f"worst-case reading"
+    )
+
+
+def confidence_noise_power(
+    method: str, error: Any, confidence: float, bins: int = 32
+) -> float:
+    """The noise measure of an SNR floor held with probability ``confidence``.
+
+    ``confidence=1.0`` is the worst case: the squared magnitude of a
+    sound enclosure of the error, available for every method.  A
+    fractional confidence is the squared ``confidence``-quantile of
+    ``|error|`` read from the propagated error distribution — so a design
+    is accepted exactly when ``P(|error| <= e_floor) >= confidence`` for
+    the error magnitude ``e_floor`` the SNR floor allows.
+    """
+    if not 0.0 < confidence <= 1.0:
+        raise NoiseModelError(f"confidence must be in (0, 1], got {confidence!r}")
+    if confidence == 1.0:
+        magnitude = _enclosure_of(error).magnitude
+        return magnitude * magnitude
+    quantile = abs(_error_distribution(method, error, bins)).quantile(confidence)
+    return quantile * quantile

@@ -56,6 +56,8 @@ def _analysis_job(
     mc_samples: int,
     seed: int,
     methods: tuple[str, ...] | None,
+    oracle_samples: int = 256,
+    oracle_precision_bits: int = 128,
 ) -> dict:
     """Analyze one circuit (module-level: picklable for process workers)."""
     pipeline = NoiseAnalysisPipeline(
@@ -65,6 +67,8 @@ def _analysis_job(
             bins=bins,
             mc_samples=mc_samples,
             seed=seed,
+            oracle_samples=oracle_samples,
+            oracle_precision_bits=oracle_precision_bits,
         )
     )
     circuit = get_circuit(name)
@@ -90,6 +94,8 @@ def run_benchmarks(
     workers: int = 1,
     runner: JobRunner | None = None,
     checkpoint: JobCheckpoint | None = None,
+    oracle_samples: int = 256,
+    oracle_precision_bits: int = 128,
 ) -> dict:
     """Run the full benchmark matrix and return the report document.
 
@@ -109,6 +115,8 @@ def run_benchmarks(
             "mc_samples": mc_samples,
             "seed": seed,
             "methods": list(method_tuple or ALL_METHODS),
+            "oracle_samples": oracle_samples,
+            "oracle_precision_bits": oracle_precision_bits,
         },
         "platform": {
             "python": platform.python_version(),
@@ -129,6 +137,8 @@ def run_benchmarks(
                 mc_samples,
                 derive_seed(seed, "analysis", name),
                 method_tuple,
+                oracle_samples,
+                oracle_precision_bits,
             ),
             seed=derive_seed(seed, "analysis", name),
         )

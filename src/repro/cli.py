@@ -70,8 +70,25 @@ def _add_analyze_parser(sub) -> None:
     parser.add_argument("--bins", type=int, default=32)
     parser.add_argument("--samples", type=int, default=20_000)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--method", action="append", help="restrict methods (repeatable)")
+    parser.add_argument(
+        "--method",
+        action="append",
+        help="restrict methods (repeatable; 'oracle' opts into the "
+        "arbitrary-precision referee)",
+    )
     parser.add_argument("--workers", type=int, default=1, help="process-parallel shards")
+    parser.add_argument(
+        "--oracle-samples",
+        type=int,
+        default=256,
+        help="sample budget of the arbitrary-precision oracle (when requested)",
+    )
+    parser.add_argument(
+        "--oracle-precision-bits",
+        type=int,
+        default=128,
+        help="mpmath working precision of the oracle (>= 64)",
+    )
     parser.add_argument("--out", default=None, help="also write the JSON document here")
 
 
@@ -87,7 +104,15 @@ def _add_optimize_parser(sub) -> None:
     parser.add_argument("--snr-floor", type=float, default=60.0, dest="snr_floor_db")
     parser.add_argument("--margin", type=float, default=1.0, dest="margin_db")
     parser.add_argument("--strategy", default="greedy", help="uniform / greedy / anneal")
-    parser.add_argument("--method", default="aa", help="ia / aa / taylor / sna")
+    parser.add_argument("--method", default="aa", help="ia / aa / taylor / sna / pna")
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=None,
+        help="accept designs whose SNR floor holds with this probability "
+        "(fractional values need a PDF method such as pna; 1.0 = worst case; "
+        "default: legacy mean-square noise)",
+    )
     parser.add_argument("--horizon", type=int, default=6)
     parser.add_argument("--bins", type=int, default=16)
     parser.add_argument("--max-word-length", type=int, default=28)
@@ -136,7 +161,15 @@ def _add_pareto_parser(sub) -> None:
     )
     parser.add_argument("--margin", type=float, default=1.0, dest="margin_db")
     parser.add_argument("--strategy", default="greedy", help="uniform / greedy / anneal")
-    parser.add_argument("--method", default="aa", help="ia / aa / taylor / sna")
+    parser.add_argument("--method", default="aa", help="ia / aa / taylor / sna / pna")
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=None,
+        help="accept designs whose SNR floor holds with this probability "
+        "(fractional values need a PDF method such as pna; 1.0 = worst case; "
+        "default: legacy mean-square noise)",
+    )
     parser.add_argument("--horizon", type=int, default=6)
     parser.add_argument("--bins", type=int, default=16)
     parser.add_argument("--max-word-length", type=int, default=28)
@@ -196,6 +229,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         seed=args.seed,
         methods=args.method,
         workers=args.workers,
+        oracle_samples=args.oracle_samples,
+        oracle_precision_bits=args.oracle_precision_bits,
     )
     _print_document(document)
     if args.out:
@@ -218,6 +253,7 @@ def _optimize_config(args: argparse.Namespace, engine: str):
     return OptimizeConfig(
         strategy=args.strategy,
         method=args.method,
+        confidence=args.confidence,
         snr_floor_db=args.snr_floor_db,
         margin_db=args.margin_db,
         cost_table=args.cost_table,
@@ -253,6 +289,7 @@ def _search_checkpoint(args: argparse.Namespace, command: str, **extra_meta: obj
         "circuit": args.circuit,
         "strategy": args.strategy,
         "method": args.method,
+        "confidence": args.confidence,
         "margin_db": args.margin_db,
         "horizon": args.horizon,
         "bins": args.bins,

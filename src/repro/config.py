@@ -120,6 +120,10 @@ class AnalysisConfig:
         the in-process single-stream validator (recording a
         :class:`~repro.analysis.degradation.DegradationEvent`) instead
         of aborting the whole analysis.
+    oracle_samples / oracle_precision_bits:
+        Budget of the opt-in bit-true arbitrary-precision oracle method
+        (``"oracle"`` — never part of the default method set): sample
+        count and mpmath working precision of the exact reference.
     """
 
     word_length: int = 12
@@ -131,6 +135,8 @@ class AnalysisConfig:
     mc_workers: int | None = None
     enclosure_tol: float = 1e-12
     mc_fallback: bool = True
+    oracle_samples: int = 256
+    oracle_precision_bits: int = 128
 
     def __post_init__(self) -> None:
         if self.word_length < 2:
@@ -141,6 +147,13 @@ class AnalysisConfig:
             raise NoiseModelError(f"bins must be >= 1, got {self.bins}")
         if self.mc_samples < 1:
             raise NoiseModelError(f"mc_samples must be >= 1, got {self.mc_samples}")
+        if self.oracle_samples < 1:
+            raise NoiseModelError(f"oracle_samples must be >= 1, got {self.oracle_samples}")
+        if self.oracle_precision_bits < 64:
+            raise NoiseModelError(
+                "oracle_precision_bits must be >= 64 (the oracle must out-resolve "
+                f"float64), got {self.oracle_precision_bits}"
+            )
         if self.methods is not None and not isinstance(self.methods, tuple):
             # normalize lists/iterables so configs stay hashable
             object.__setattr__(self, "methods", tuple(self.methods))
@@ -163,6 +176,13 @@ class OptimizeConfig:
         Noise-analysis method judging feasibility.
     snr_floor_db / margin_db:
         The constraint, and the analytic safety margin above it.
+    confidence:
+        How strongly the SNR floor must hold.  ``None`` (the default)
+        keeps the legacy mean-square noise power.  ``1.0`` judges the
+        worst-case peak error (any method).  A fractional value ``c``
+        accepts designs whose floor holds with probability ``c`` — the
+        noise measure becomes the squared ``c``-quantile of ``|error|``,
+        which requires a PDF-producing method (``pna`` or ``sna``).
     cost_table:
         Named hardware cost table (see ``repro.optimize.COST_TABLES``);
         an explicit ``cost_model`` argument always wins over this.
@@ -189,6 +209,7 @@ class OptimizeConfig:
     method: str = "aa"
     snr_floor_db: float = 60.0
     margin_db: float = 0.0
+    confidence: float | None = None
     cost_table: str = "lut4"
     engine: str = "incremental"
     horizon: int = 8
@@ -207,6 +228,10 @@ class OptimizeConfig:
             )
         if self.margin_db < 0.0:
             raise OptimizationError(f"margin_db must be >= 0, got {self.margin_db}")
+        if self.confidence is not None and not 0.0 < self.confidence <= 1.0:
+            raise OptimizationError(
+                f"confidence must be in (0, 1] or None, got {self.confidence!r}"
+            )
         if self.min_fractional_bits < 0:
             raise OptimizationError(
                 f"min_fractional_bits must be >= 0, got {self.min_fractional_bits}"

@@ -74,9 +74,32 @@ from repro.noisemodel.assignment import WordLengthAssignment
 from repro.noisemodel.gains import transfer_gains
 from repro.noisemodel.sources import QuantizationSource, build_sources, sources_by_node
 
-__all__ = ["DatapathNoiseAnalyzer", "NoiseReport", "ANALYSIS_METHODS"]
+__all__ = [
+    "DatapathNoiseAnalyzer",
+    "NoiseReport",
+    "ANALYSIS_METHODS",
+    "PDF_METHODS",
+    "propagation_algebra",
+]
 
-ANALYSIS_METHODS = ("ia", "aa", "taylor", "sna")
+ANALYSIS_METHODS = ("ia", "aa", "taylor", "sna", "pna")
+
+#: Methods whose propagated error carries a full distribution, i.e. the
+#: ones a fractional confidence level can be evaluated against.
+PDF_METHODS = ("pna", "sna")
+
+#: Methods whose propagation reuses another method's term algebra.  The
+#: probabilistic method ("pna") propagates plain affine forms — the shared
+#: noise symbols ARE its dependency tracking (correlated reconvergent
+#: paths cancel symbolically) — and only diverges from AA at report /
+#: confidence-quantile time, where the affine form is read as a sum of
+#: independent uniform noise symbols and convolved into an error PDF.
+_PROPAGATION_ALGEBRA = {"pna": "aa"}
+
+
+def propagation_algebra(method: str) -> str:
+    """The term algebra a method propagates ("pna" rides the AA rules)."""
+    return _PROPAGATION_ALGEBRA.get(method, method)
 
 
 @dataclass(frozen=True)
@@ -805,7 +828,7 @@ class DatapathNoiseAnalyzer:
                 f"unknown analysis method {method!r}; choose from {ANALYSIS_METHODS}"
             )
         target = self._resolve_output(output)
-        values, errors, _context = self._propagate(method, target)
+        values, errors, _context = self._propagate(propagation_algebra(method), target)
         error = errors[target]
         builder = getattr(self, f"_report_{method}")
         return builder(target, error, values, contributions)
@@ -875,6 +898,42 @@ class DatapathNoiseAnalyzer:
             noise_power=mean * mean + variance,
             source_count=len(self._sources_by_node),
             contributions=contributions,
+        )
+
+    def _report_pna(
+        self, target: str, error: Any, values: Dict[str, Any], with_contributions: bool = True
+    ) -> NoiseReport:
+        """Probabilistic report: the AA error form read as an error PDF.
+
+        The affine form's shared noise symbols already account for
+        correlated reconvergent paths (they combine symbolically during
+        propagation), so convolving the per-symbol uniform contributions
+        here treats only *distinct* symbols as independent — exactly the
+        AA independence model, but producing a full distribution instead
+        of two moments.
+        """
+        # Lazy import: repro.analysis imports this module at package init.
+        from repro.analysis.probabilistic import affine_error_pdf
+
+        if not isinstance(error, AffineForm):
+            error = AffineForm(float(error), {})
+        bounds = error.to_interval()
+        mean, variance = self._moments_aa(error)
+        contributions: Dict[str, float] = {}
+        if with_contributions:
+            contributions = self._aggregate_contributions(
+                {name: coeff for name, coeff in error.terms.items() if name.startswith("e_")}
+            )
+        return NoiseReport(
+            method="pna",
+            output=target,
+            bounds=bounds,
+            mean=mean,
+            variance=variance,
+            noise_power=mean * mean + variance,
+            source_count=len(self._sources_by_node),
+            contributions=contributions,
+            error_pdf=affine_error_pdf(error, bins=self.bins),
         )
 
     def _report_taylor(
@@ -955,11 +1014,35 @@ class DatapathNoiseAnalyzer:
             return value * value
         return error.mean_square()
 
+    def _noise_power_pna(self, error: Any) -> float:
+        # The mean-square of the convolved PDF equals mean² + variance of
+        # the affine form analytically; the moment form skips the binning
+        # error entirely, so pna's plain noise power IS aa's.
+        return self._noise_power_aa(error)
+
     def noise_power_of(self, method: str, error: Any) -> float:
         """Output noise power of a propagated error — the single number the
         word-length search needs per candidate, computed without building
         a full :class:`NoiseReport` (identical to the report's value)."""
         return getattr(self, f"_noise_power_{method}")(error)
+
+    def effective_noise_power(
+        self, method: str, error: Any, confidence: float | None = None
+    ) -> float:
+        """The noise measure an SNR constraint judges, under ``confidence``.
+
+        ``confidence=None`` is the legacy mean-square power.
+        ``confidence=1.0`` is the worst-case peak: the squared magnitude
+        of a sound enclosure of the error (any method).  A fractional
+        confidence is the squared ``confidence``-quantile of |error|,
+        read from the propagated error distribution — available for the
+        PDF-producing methods ("pna", "sna").
+        """
+        if confidence is None:
+            return self.noise_power_of(method, error)
+        from repro.analysis.probabilistic import confidence_noise_power
+
+        return confidence_noise_power(method, error, confidence, bins=self.bins)
 
     def _report_sna(
         self, target: str, error: Any, values: Dict[str, Any], with_contributions: bool = True

@@ -38,7 +38,12 @@ from repro.errors import (
     ReproError,
 )
 from repro.intervals.interval import Interval, RangeLike, coerce_interval, uniform_power
-from repro.noisemodel.analyzer import ANALYSIS_METHODS, DatapathNoiseAnalyzer
+from repro.noisemodel.analyzer import (
+    ANALYSIS_METHODS,
+    PDF_METHODS,
+    DatapathNoiseAnalyzer,
+    propagation_algebra,
+)
 from repro.noisemodel.assignment import WordLengthAssignment, ensure_range_coverage
 from repro.noisemodel.gains import transfer_gains
 from repro.optimize.cost import COST_TABLES, CostBreakdown, HardwareCostModel
@@ -157,6 +162,22 @@ class OptimizationProblem:
             cost_model = HardwareCostModel(table)
         self.cost_model = cost_model
         self.method = config.method
+        #: Confidence level of the SNR constraint (see
+        #: :attr:`OptimizeConfig.confidence`): ``None`` = mean-square
+        #: power, ``1.0`` = worst-case peak, fractional = the squared
+        #: confidence-quantile of ``|error|``.
+        self.confidence = config.confidence
+        if (
+            self.confidence is not None
+            and self.confidence < 1.0
+            and config.method not in PDF_METHODS
+        ):
+            raise OptimizationError(
+                f"confidence={self.confidence!r} needs a PDF-producing analysis "
+                f"method ({', '.join(PDF_METHODS)}); method {config.method!r} only "
+                "supports confidence=1.0 (worst case) or confidence=None "
+                "(mean-square power)"
+            )
         self.horizon = int(config.horizon)
         self.bins = int(config.bins)
         self.margin_db = float(config.margin_db)
@@ -373,7 +394,9 @@ class OptimizationProblem:
                     horizon=self.horizon,
                     bins=self.bins,
                 )
-            return self._incremental.noise_power(assignment, self.method, output=self.output)
+            return self._incremental.noise_power(
+                assignment, self.method, output=self.output, confidence=self.confidence
+            )
         except (DomainError, DivisionByZeroIntervalError):
             raise  # candidate-level infeasibility, judged by _analyze
         except ReproError as exc:
@@ -391,8 +414,14 @@ class OptimizationProblem:
             horizon=self.horizon,
             bins=self.bins,
         )
-        report = analyzer.analyze(self.method, output=self.output, contributions=False)
-        return report.noise_power
+        if self.confidence is None:
+            report = analyzer.analyze(self.method, output=self.output, contributions=False)
+            return report.noise_power
+        target = analyzer._resolve_output(self.output)
+        _values, errors, _context = analyzer._propagate(
+            propagation_algebra(self.method), target
+        )
+        return analyzer.effective_noise_power(self.method, errors[target], self.confidence)
 
     def _degrade(self, stage: str, to_engine: str, exc: Exception) -> None:
         """Record one engine fallback and switch the problem onto it."""
@@ -487,7 +516,11 @@ class OptimizationProblem:
         started_cpu = time.process_time()
         try:
             noise = engine.price_moves(
-                assignment, moves, method=self.method, output=self.output
+                assignment,
+                moves,
+                method=self.method,
+                output=self.output,
+                confidence=self.confidence,
             )
         except ReproError as exc:
             if not self.engine_fallback:
@@ -576,6 +609,7 @@ class OptimizationProblem:
         samples: int = 20_000,
         seed: int | None = 0,
         workers: int | None = None,
+        confidence: "float | None | object" = UNSET,
     ) -> float:
         """Measured SNR of a design under the bit-true Monte-Carlo simulator.
 
@@ -586,6 +620,13 @@ class OptimizationProblem:
         the legacy single-stream draw; ``seed=None`` with workers set
         still shards (and still parallelizes) from a fresh OS-entropy
         base seed.
+
+        ``confidence`` defaults to the problem's own level so validation
+        judges the same functional the search optimized: the sampled
+        noise measure becomes the squared empirical
+        ``confidence``-quantile of ``|error|`` (``1.0`` = the squared
+        peak error).  Pass ``confidence=None`` explicitly to force the
+        legacy mean-square reading.
         """
         # Local import: repro.analysis imports repro.optimize at module
         # scope (pipeline wiring); importing back lazily avoids the cycle.
@@ -618,7 +659,17 @@ class OptimizationProblem:
                 output=self.output,
                 rng=seed,
             )
-        return self._snr_db(result.noise_power)
+        if confidence is UNSET:
+            confidence = self.confidence
+        if confidence is None:
+            return self._snr_db(result.noise_power)
+        import numpy as np
+
+        if confidence >= 1.0:
+            level = float(np.max(np.abs(result.errors)))
+        else:
+            level = float(np.quantile(np.abs(result.errors), confidence))
+        return self._snr_db(level * level)
 
     # ------------------------------------------------------------------ #
     # gain-based candidate ranking (no analyzer calls)

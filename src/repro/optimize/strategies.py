@@ -686,7 +686,10 @@ class SimulatedAnnealingOptimizer(WordLengthOptimizer):
                 moved_lanes.append(lane)
             if proposals:
                 noise = engine.price(
-                    proposals, method=problem.method, output=problem.output
+                    proposals,
+                    method=problem.method,
+                    output=problem.output,
+                    confidence=getattr(problem, "confidence", None),
                 )
                 for k, lane in enumerate(moved_lanes):
                     candidate = proposals[k]

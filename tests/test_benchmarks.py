@@ -4,12 +4,14 @@ import json
 
 import pytest
 
-from repro.analysis import NoiseAnalysisPipeline
+from repro.analysis import AnalysisConfig, NoiseAnalysisPipeline
 from repro.benchmarks import CIRCUITS, all_circuits, get_circuit
 from repro.benchmarks.bench_analysis import main as bench_main
 from repro.errors import DesignError
 
-SMOKE = NoiseAnalysisPipeline(word_length=10, horizon=4, bins=12, mc_samples=1_500, seed=1)
+SMOKE = NoiseAnalysisPipeline(
+    AnalysisConfig(word_length=10, horizon=4, bins=12, mc_samples=1_500, seed=1)
+)
 
 
 class TestCircuitLibrary:
@@ -49,7 +51,7 @@ class TestPipelineOnEveryCircuit:
     def test_all_methods_and_enclosure(self, name):
         circuit = get_circuit(name)
         report = SMOKE.analyze(circuit, output=circuit.output)
-        assert len(report.results) == 5
+        assert len(report.results) == 6
         for method in ("ia", "aa", "taylor"):
             assert report.enclosure[method], (
                 f"{name}: {method} bounds {report.result(method).bounds} do not enclose "
@@ -70,4 +72,4 @@ class TestBenchDriver:
         assert set(document["circuits"]) == {"quadratic", "fir4"}
         for entry in document["circuits"].values():
             assert entry["total_runtime_s"] > 0
-            assert set(entry["results"]) == {"ia", "aa", "taylor", "sna", "montecarlo"}
+            assert set(entry["results"]) == {"ia", "aa", "taylor", "sna", "pna", "montecarlo"}

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.benchmarks.circuits import get_circuit
+from repro.config import OptimizeConfig
 from repro.dfg.range_analysis import infer_ranges
 from repro.noisemodel.assignment import WordLengthAssignment
 from repro.optimize import OptimizationProblem, get_optimizer
@@ -16,9 +17,10 @@ def make_problem(circuit_name="quadratic", method="aa", **options):
     options.setdefault("horizon", 4)
     options.setdefault("bins", 8)
     options.setdefault("margin_db", 1.0)
-    return OptimizationProblem.from_circuit(
-        get_circuit(circuit_name), FLOOR, method=method, **options
-    )
+    if "use_incremental" in options:
+        options["engine"] = "incremental" if options.pop("use_incremental") else "fresh"
+    config = OptimizeConfig(snr_floor_db=FLOOR, method=method, **options)
+    return OptimizationProblem.from_circuit(get_circuit(circuit_name), FLOOR, config=config)
 
 
 class TestAssignmentKey:
@@ -126,11 +128,14 @@ class TestEvaluatorEquivalence:
                 problem = OptimizationProblem.from_circuit(
                     circuit,
                     FLOOR,
-                    method=method,
-                    horizon=4,
-                    bins=8,
-                    margin_db=1.0,
-                    use_incremental=use_incremental,
+                    config=OptimizeConfig(
+                        snr_floor_db=FLOOR,
+                        method=method,
+                        horizon=4,
+                        bins=8,
+                        margin_db=1.0,
+                        engine="incremental" if use_incremental else "fresh",
+                    ),
                 )
                 results[use_incremental] = get_optimizer("greedy").optimize(problem)
             incremental, legacy = results[True], results[False]

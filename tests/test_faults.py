@@ -529,6 +529,10 @@ class TestBenchDeterminismUnderFaults:
             for circuit in resumed["circuits"].values()
             for method in circuit["methods"].values()
             for row in method["strategies"].values()
+        ] + [
+            entry[part]
+            for entry in resumed["probabilistic"]["circuits"].values()
+            for part in ("worstcase", "probabilistic", "oracle")
         ]
         assert sum(1 for row in rows if row.get("job_resumed")) == len(rows) - 1
 

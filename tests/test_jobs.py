@@ -11,6 +11,7 @@ from repro.benchmarks.bench_analysis import run_benchmarks
 from repro.benchmarks.bench_optimize import run_optimize_benchmarks
 from repro.benchmarks.bench_perf import run_perf_benchmarks
 from repro.benchmarks.circuits import CIRCUITS, get_circuit
+from repro.config import OptimizeConfig
 from repro.errors import JobError
 from repro.jobs import (
     JobRunner,
@@ -208,7 +209,11 @@ class TestShardedMonteCarlo:
         from repro.optimize import OptimizationProblem
 
         circuit, _ = self.problem_bits()
-        problem = OptimizationProblem.from_circuit(circuit, 40.0, method="ia", mc_workers=1)
+        problem = OptimizationProblem.from_circuit(
+            circuit,
+            40.0,
+            config=OptimizeConfig(snr_floor_db=40.0, method="ia", mc_workers=1),
+        )
         assignment = problem.uniform(12)
         sharded = problem.monte_carlo_snr(assignment, samples=2000, seed=1)
         again = problem.monte_carlo_snr(assignment, samples=2000, seed=1, workers=2)

@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import NoiseAnalysisPipeline
+from repro.analysis import AnalysisConfig, NoiseAnalysisPipeline
 from repro.benchmarks.circuits import get_circuit
+from repro.config import OptimizeConfig
 from repro.errors import OptimizationError
 from repro.optimize import (
     HardwareCostModel,
@@ -26,9 +27,8 @@ def make_problem(circuit_name: str = "quadratic", method: str = "aa", **options)
     options.setdefault("horizon", 4)
     options.setdefault("bins", 8)
     options.setdefault("margin_db", 1.0)
-    return OptimizationProblem.from_circuit(
-        get_circuit(circuit_name), FLOOR, method=method, **options
-    )
+    config = OptimizeConfig(snr_floor_db=FLOOR, method=method, **options)
+    return OptimizationProblem.from_circuit(get_circuit(circuit_name), FLOOR, config=config)
 
 
 class TestProblem:
@@ -61,7 +61,10 @@ class TestProblem:
         x = builder.input("x")
         builder.output(x + builder.const(0.0), name="y")
         problem = OptimizationProblem(
-            builder.build(), {"x": (0.5, 1.75)}, 10.0, method="aa", horizon=2, bins=8
+            builder.build(),
+            {"x": (0.5, 1.75)},
+            10.0,
+            config=OptimizeConfig(snr_floor_db=10.0, method="aa", horizon=2, bins=8),
         )
         shaved = problem.uniform(6).with_fractional_bits("x", 1)
         assert shaved.format_of("x").max_value < 1.75
@@ -174,9 +177,12 @@ class TestAnnealing:
 
 class TestPipelineWiring:
     def test_pipeline_optimize_returns_result(self):
-        pipeline = NoiseAnalysisPipeline(horizon=4, bins=8)
+        pipeline = NoiseAnalysisPipeline(AnalysisConfig(horizon=4, bins=8))
         result = pipeline.optimize(
-            get_circuit("quadratic"), snr_floor_db=FLOOR, strategy="greedy", method="aa"
+            get_circuit("quadratic"),
+            snr_floor_db=FLOOR,
+            strategy="greedy",
+            config=OptimizeConfig(method="aa", horizon=4, bins=8),
         )
         assert result.strategy == "greedy"
         assert result.method == "aa"
@@ -188,12 +194,12 @@ class TestPipelineWiring:
         assert report.results["aa"].snr_db >= FLOOR
 
     def test_unknown_strategy_raises(self):
-        pipeline = NoiseAnalysisPipeline(horizon=4, bins=8)
+        pipeline = NoiseAnalysisPipeline(AnalysisConfig(horizon=4, bins=8))
         with pytest.raises(OptimizationError, match="unknown optimization strategy"):
             pipeline.optimize(get_circuit("quadratic"), FLOOR, strategy="gradient")
 
     def test_custom_cost_model_is_used(self):
-        pipeline = NoiseAnalysisPipeline(horizon=4, bins=8)
+        pipeline = NoiseAnalysisPipeline(AnalysisConfig(horizon=4, bins=8))
         free = HardwareCostModel(
             HardwareCostModel().table.scaled(0.0, name="free")
         )
@@ -203,7 +209,7 @@ class TestPipelineWiring:
         assert result.cost == 0.0
 
     def test_result_serializes(self):
-        pipeline = NoiseAnalysisPipeline(horizon=4, bins=8)
+        pipeline = NoiseAnalysisPipeline(AnalysisConfig(horizon=4, bins=8))
         result = pipeline.optimize(get_circuit("quadratic"), FLOOR, strategy="uniform")
         doc = result.to_dict()
         assert doc["strategy"] == "uniform"

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.analysis import ALL_METHODS, NoiseAnalysisPipeline
+from repro.analysis import ALL_METHODS, AnalysisConfig, NoiseAnalysisPipeline
 from repro.errors import NoiseModelError
 from repro.symbols.expression import Symbol
 
@@ -13,7 +13,7 @@ RANGES = {"x": (-4.0, 3.0)}
 
 @pytest.fixture(scope="module")
 def quadratic_report():
-    pipeline = NoiseAnalysisPipeline(word_length=12, mc_samples=20_000, seed=0)
+    pipeline = NoiseAnalysisPipeline(AnalysisConfig(word_length=12, mc_samples=20_000, seed=0))
     x = Symbol("x")
     return pipeline.analyze(x**2 + x, input_ranges=RANGES, name="quadratic")
 
@@ -65,19 +65,19 @@ class TestQuadraticEndToEnd:
 class TestDivisionCircuit:
     def test_all_methods_handle_division(self):
         """Regression: TaylorModel lacked __truediv__, crashing 'taylor' on DIV."""
-        pipeline = NoiseAnalysisPipeline(word_length=12, mc_samples=4_000, seed=3)
+        pipeline = NoiseAnalysisPipeline(AnalysisConfig(word_length=12, mc_samples=4_000, seed=3))
         x, y = Symbol("x"), Symbol("y")
         report = pipeline.analyze(
             x / y, input_ranges={"x": (-1.0, 1.0), "y": (1.0, 2.0)}, name="divider"
         )
-        assert len(report.results) == 5
+        assert len(report.results) == 6
         for method in ("ia", "aa", "taylor"):
             assert report.enclosure[method], method
 
 
 class TestPipelineValidation:
     def test_single_method_selection(self):
-        pipeline = NoiseAnalysisPipeline(word_length=10, mc_samples=500)
+        pipeline = NoiseAnalysisPipeline(AnalysisConfig(word_length=10, mc_samples=500))
         x = Symbol("x")
         report = pipeline.analyze(x * x, method="ia", input_ranges={"x": (-1.0, 1.0)})
         assert report.methods == ["ia"]

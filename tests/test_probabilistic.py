@@ -1,0 +1,237 @@
+"""Probabilistic noise analysis, confidence floors, and MC-validator hygiene."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ALL_METHODS,
+    AnalysisConfig,
+    NoiseAnalysisPipeline,
+    affine_error_pdf,
+    confidence_noise_power,
+)
+from repro.analysis.montecarlo import draw_stimulus, monte_carlo_error
+from repro.benchmarks.circuits import get_circuit
+from repro.config import OptimizeConfig
+from repro.dfg.range_analysis import infer_ranges
+from repro.errors import HistogramError, NoiseModelError, OptimizationError
+from repro.histogram.pdf import HistogramPDF
+from repro.histogram.sampling import sample_histogram
+from repro.intervals.affine import AffineForm
+from repro.intervals.interval import Interval
+from repro.noisemodel.assignment import WordLengthAssignment
+from repro.optimize import OptimizationProblem, get_optimizer
+
+
+def quadratic_bits(word_length: int = 12):
+    circuit = get_circuit("quadratic")
+    ranges = infer_ranges(circuit.graph, circuit.input_ranges).ranges
+    assignment = WordLengthAssignment.uniform(circuit.graph, word_length, ranges)
+    return circuit, assignment
+
+
+# --------------------------------------------------------------------- #
+# stimulus PDFs vs declared ranges (the validator bugfix)
+# --------------------------------------------------------------------- #
+class TestStimulusRangeGuard:
+    def test_pdf_outside_declared_range_raises(self):
+        circuit, assignment = quadratic_bits()
+        lo, hi = circuit.input_ranges["x"].lo, circuit.input_ranges["x"].hi
+        wide = HistogramPDF.uniform(lo - 1.0, hi + 1.0, bins=16)
+        with pytest.raises(NoiseModelError, match="outside the declared"):
+            monte_carlo_error(
+                circuit.graph,
+                assignment,
+                circuit.input_ranges,
+                samples=64,
+                input_pdfs={"x": wide},
+                rng=0,
+            )
+
+    def test_clip_policy_clips_into_range(self):
+        circuit, _ = quadratic_bits()
+        interval = circuit.input_ranges["x"]
+        wide = HistogramPDF.uniform(interval.lo - 2.0, interval.hi + 2.0, bins=16)
+        stimulus = draw_stimulus(
+            circuit.graph,
+            circuit.input_ranges,
+            samples=500,
+            steps=1,
+            rng=np.random.default_rng(0),
+            input_pdfs={"x": wide},
+            out_of_range="clip",
+        )
+        draws = stimulus["x"]
+        assert draws.shape == (500, 1)
+        assert draws.min() >= interval.lo and draws.max() <= interval.hi
+        # the clip must actually bite for a PDF this wide
+        assert (draws == interval.lo).any() or (draws == interval.hi).any()
+
+    def test_in_range_pdf_accepted_under_default_policy(self):
+        circuit, assignment = quadratic_bits()
+        interval = circuit.input_ranges["x"]
+        narrow = HistogramPDF.uniform(interval.lo / 2, interval.hi / 2, bins=16)
+        result = monte_carlo_error(
+            circuit.graph,
+            assignment,
+            circuit.input_ranges,
+            samples=64,
+            input_pdfs={"x": narrow},
+            rng=0,
+        )
+        assert result.samples == 64
+
+    def test_unknown_policy_rejected(self):
+        circuit, _ = quadratic_bits()
+        with pytest.raises(NoiseModelError, match="unknown out_of_range"):
+            draw_stimulus(
+                circuit.graph,
+                circuit.input_ranges,
+                samples=8,
+                steps=1,
+                rng=np.random.default_rng(0),
+                out_of_range="ignore",
+            )
+
+
+# --------------------------------------------------------------------- #
+# histogram sampling mass guard
+# --------------------------------------------------------------------- #
+class TestSampleHistogramMassGuard:
+    def test_leaky_pdf_refused(self):
+        pdf = HistogramPDF.uniform(0.0, 1.0, bins=8)
+        pdf.probs *= 0.5  # simulate a mass leak from a buggy kernel
+        with pytest.raises(HistogramError, match="leaky"):
+            sample_histogram(pdf, 100, rng=0)
+
+    def test_rounding_residue_inside_tolerance_is_renormalized(self):
+        pdf = HistogramPDF.uniform(0.0, 1.0, bins=8)
+        pdf.probs *= 1.0 - 1e-9
+        samples = sample_histogram(pdf, 256, rng=0)
+        assert samples.min() >= 0.0 and samples.max() <= 1.0
+
+    def test_nonpositive_count_rejected(self):
+        pdf = HistogramPDF.uniform(0.0, 1.0, bins=4)
+        with pytest.raises(HistogramError, match="count"):
+            sample_histogram(pdf, 0, rng=0)
+
+
+# --------------------------------------------------------------------- #
+# MonteCarloResult immutability
+# --------------------------------------------------------------------- #
+class TestMonteCarloResultImmutability:
+    def test_errors_array_is_read_only(self):
+        circuit, assignment = quadratic_bits()
+        result = monte_carlo_error(
+            circuit.graph, assignment, circuit.input_ranges, samples=64, rng=0
+        )
+        with pytest.raises(ValueError):
+            result.errors[0] = 0.0
+
+
+# --------------------------------------------------------------------- #
+# the pna method
+# --------------------------------------------------------------------- #
+class TestPnaMethod:
+    def test_pna_is_part_of_the_default_sweep(self):
+        assert "pna" in ALL_METHODS
+        pipeline = NoiseAnalysisPipeline(
+            AnalysisConfig(word_length=10, horizon=2, bins=16, mc_samples=800, seed=0)
+        )
+        report = pipeline.analyze(get_circuit("quadratic"))
+        assert "pna" in report.results
+        assert report.enclosure["pna"], (
+            f"pna bounds {report.result('pna').bounds} do not enclose "
+            f"[{report.result('montecarlo').lower}, {report.result('montecarlo').upper}]"
+        )
+
+    def test_affine_error_pdf_support_matches_enclosure(self):
+        form = AffineForm(0.5, {"e1": 0.25, "e2": -0.125, "e3": 0.0})
+        pdf = affine_error_pdf(form, bins=32)
+        assert pdf.edges[0] == pytest.approx(0.5 - 0.375)
+        assert pdf.edges[-1] == pytest.approx(0.5 + 0.375)
+
+    def test_affine_error_pdf_of_a_constant_is_a_point_mass(self):
+        pdf = affine_error_pdf(0.25)
+        assert pdf.mean() == pytest.approx(0.25, abs=1e-9)
+        assert pdf.edges[-1] - pdf.edges[0] < 1e-6
+
+
+# --------------------------------------------------------------------- #
+# confidence-bounded noise power
+# --------------------------------------------------------------------- #
+class TestConfidenceNoisePower:
+    FORM = AffineForm(0.0, {"e1": 0.5, "e2": 0.5})
+
+    def test_full_confidence_is_the_squared_peak(self):
+        assert confidence_noise_power("aa", self.FORM, 1.0) == pytest.approx(1.0)
+
+    def test_fractional_confidence_is_cheaper_and_monotone(self):
+        q50 = confidence_noise_power("pna", self.FORM, 0.5)
+        q99 = confidence_noise_power("pna", self.FORM, 0.99)
+        worst = confidence_noise_power("pna", self.FORM, 1.0)
+        assert 0.0 < q50 < q99 <= worst
+
+    def test_fractional_confidence_needs_a_pdf_method(self):
+        with pytest.raises(NoiseModelError, match="PDF-producing"):
+            confidence_noise_power("ia", Interval(-1.0, 1.0), 0.9)
+
+    def test_confidence_domain_is_validated(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(NoiseModelError, match="confidence"):
+                confidence_noise_power("pna", self.FORM, bad)
+
+
+# --------------------------------------------------------------------- #
+# confidence floors through the optimizer
+# --------------------------------------------------------------------- #
+class TestConfidenceFloors:
+    def test_config_validates_confidence(self):
+        with pytest.raises(OptimizationError, match="confidence"):
+            OptimizeConfig(snr_floor_db=40.0, confidence=0.0)
+        with pytest.raises(OptimizationError, match="confidence"):
+            OptimizeConfig(snr_floor_db=40.0, confidence=1.5)
+
+    def test_fractional_confidence_requires_pdf_method(self):
+        with pytest.raises(OptimizationError, match="PDF-producing"):
+            OptimizationProblem.from_circuit(
+                get_circuit("quadratic"),
+                40.0,
+                config=OptimizeConfig(snr_floor_db=40.0, method="ia", confidence=0.99),
+            )
+
+    def test_worst_case_confidence_works_for_every_method(self):
+        problem = OptimizationProblem.from_circuit(
+            get_circuit("quadratic"),
+            40.0,
+            config=OptimizeConfig(
+                snr_floor_db=40.0, method="ia", confidence=1.0, horizon=2, bins=8
+            ),
+        )
+        evaluation = problem.evaluate(problem.uniform(12))
+        assert np.isfinite(evaluation.snr_db)
+
+    def test_probabilistic_floor_is_never_costlier_than_worst_case(self):
+        floor = 58.0
+        costs = {}
+        for method, confidence in (("aa", 1.0), ("pna", 0.999)):
+            problem = OptimizationProblem.from_circuit(
+                get_circuit("fir4"),
+                floor,
+                config=OptimizeConfig(
+                    snr_floor_db=floor,
+                    method=method,
+                    confidence=confidence,
+                    horizon=4,
+                    bins=8,
+                    margin_db=1.0,
+                ),
+            )
+            result = get_optimizer("greedy").optimize(problem)
+            assert result.feasible
+            # MC validation judges the same statistic the constraint used
+            assert problem.monte_carlo_snr(result.assignment, samples=2000, seed=0) >= floor
+            costs[method] = result.cost
+        assert costs["pna"] <= costs["aa"]
