@@ -25,6 +25,13 @@ design at the same floor — or when a floor that was feasible
 circuit or floor disappeared.  Cost *improvements* are reported, never
 gated.
 
+``BENCH_scale.json`` documents (``suite == "scaling"``) diff the
+time-vs-size curve instead: the head fails when a size's decomposed
+runtime regressed by more than ``--max-runtime-ratio`` (same noise
+floors as above), when its decomposed-vs-greedy quality gap **widened**
+by more than ``--gap-tolerance``, when a point lost feasibility or
+Monte-Carlo validation, or when a size present at base disappeared.
+
 Usage::
 
     python -m repro.benchmarks.compare_bench BASE.json HEAD.json
@@ -47,8 +54,10 @@ from typing import List, Sequence, Tuple
 __all__ = [
     "compare_documents",
     "compare_pareto_documents",
+    "compare_scaling_documents",
     "render_markdown",
     "render_pareto_markdown",
+    "render_scaling_markdown",
     "strip_execution_counters",
     "main",
 ]
@@ -241,6 +250,93 @@ def compare_pareto_documents(
     return rows, failures
 
 
+def compare_scaling_documents(
+    base: dict,
+    head: dict,
+    max_runtime_ratio: float = 2.0,
+    runtime_floor: float = 0.05,
+    gap_tolerance: float = 0.01,
+) -> Tuple[List[dict], List[str]]:
+    """Diff two ``scaling`` documents size by size.
+
+    Points are keyed by generator spec.  Runtime is gated with the same
+    double guard as the analysis diff (ratio *and* absolute growth must
+    both be significant).  The decomposed-vs-greedy quality gap may
+    drift within ``gap_tolerance`` (absolute, on the fractional gap) —
+    beyond that the decomposition's quality regressed.  Feasibility and
+    Monte-Carlo validation may only flip upward.
+    """
+    rows: List[dict] = []
+    failures: List[str] = []
+    head_points = {point["spec"]: point for point in head.get("points", [])}
+
+    for base_point in base.get("points", []):
+        spec = base_point["spec"]
+        head_point = head_points.get(spec)
+        if head_point is None:
+            failures.append(f"size {spec!r} present at base is missing at head")
+            continue
+        base_row = base_point["decomposed"]
+        head_row = head_point["decomposed"]
+        base_runtime = float(base_row.get("runtime_s", 0.0))
+        head_runtime = float(head_row.get("runtime_s", 0.0))
+        runtime_ratio = _ratio(head_runtime, base_runtime)
+        runtime_regressed = (
+            runtime_ratio > max_runtime_ratio
+            and head_runtime > runtime_floor
+            and head_runtime - base_runtime > runtime_floor
+        )
+        if runtime_regressed:
+            failures.append(
+                f"{spec}: decomposed runtime regressed {runtime_ratio:.2f}x "
+                f"({base_runtime:.1f}s -> {head_runtime:.1f}s)"
+            )
+        base_gap = base_point.get("quality_gap")
+        head_gap = head_point.get("quality_gap")
+        gap_widened = False
+        if base_gap is not None and head_gap is None:
+            failures.append(
+                f"{spec}: greedy quality comparison present at base is missing at head"
+            )
+        elif base_gap is not None and head_gap is not None:
+            gap_widened = float(head_gap) > float(base_gap) + gap_tolerance
+            if gap_widened:
+                failures.append(
+                    f"{spec}: quality gap widened "
+                    f"{float(base_gap) * 100.0:+.2f}% -> {float(head_gap) * 100.0:+.2f}% "
+                    f"(tolerance {gap_tolerance * 100.0:.1f}%)"
+                )
+        lost_feasibility = bool(base_row.get("feasible")) and not head_row.get("feasible")
+        if lost_feasibility:
+            failures.append(f"{spec}: feasible at base, infeasible at head")
+        lost_validation = (
+            base_row.get("mc_validated") is True
+            and head_row.get("mc_validated") is False
+        )
+        if lost_validation:
+            failures.append(
+                f"{spec}: Monte-Carlo validated at base, below floor at head"
+            )
+        rows.append(
+            {
+                "spec": spec,
+                "nodes": int(head_point.get("nodes", base_point.get("nodes", 0))),
+                "base_runtime_s": base_runtime,
+                "head_runtime_s": head_runtime,
+                "runtime_ratio": runtime_ratio,
+                "runtime_regressed": runtime_regressed,
+                "base_cost": float(base_row.get("cost", 0.0)),
+                "head_cost": float(head_row.get("cost", 0.0)),
+                "base_gap": base_gap,
+                "head_gap": head_gap,
+                "gap_widened": gap_widened,
+                "lost_feasibility": lost_feasibility,
+                "lost_validation": lost_validation,
+            }
+        )
+    return rows, failures
+
+
 def render_markdown(rows: List[dict], failures: List[str]) -> str:
     """Render the diff as a GitHub-flavored markdown job summary."""
     lines = ["## Benchmark regression: base vs head", ""]
@@ -304,6 +400,47 @@ def render_pareto_markdown(rows: List[dict], failures: List[str]) -> str:
     return "\n".join(lines) + "\n"
 
 
+def render_scaling_markdown(rows: List[dict], failures: List[str]) -> str:
+    """Render the scaling diff as a GitHub-flavored markdown job summary."""
+    lines = ["## Scaling regression: base vs head", ""]
+    if failures:
+        lines.append("**FAILED:**")
+        lines.extend(f"- {message}" for message in failures)
+    else:
+        lines.append(
+            "**PASSED** — no runtime regression, no quality-gap widening, "
+            "no feasibility regressions."
+        )
+    lines.append("")
+    lines.append(
+        "| spec | nodes | base t (s) | head t (s) | ratio "
+        "| base gap | head gap | verdict |"
+    )
+    lines.append("|---|---|---|---|---|---|---|---|")
+    for row in rows:
+        if row["runtime_regressed"]:
+            verdict = "RUNTIME REGRESSED"
+        elif row["gap_widened"]:
+            verdict = "GAP WIDENED"
+        elif row["lost_feasibility"]:
+            verdict = "LOST FEASIBILITY"
+        elif row["lost_validation"]:
+            verdict = "LOST MC VALIDATION"
+        else:
+            verdict = "ok"
+        base_gap = row["base_gap"]
+        head_gap = row["head_gap"]
+        base_gap_txt = f"{base_gap * 100.0:+.2f}%" if base_gap is not None else "n/a"
+        head_gap_txt = f"{head_gap * 100.0:+.2f}%" if head_gap is not None else "n/a"
+        lines.append(
+            f"| {row['spec']} | {row['nodes']} "
+            f"| {row['base_runtime_s']:.1f} | {row['head_runtime_s']:.1f} "
+            f"| {row['runtime_ratio']:.2f} "
+            f"| {base_gap_txt} | {head_gap_txt} | {verdict} |"
+        )
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("base", help="benchmark JSON of the merge-base")
@@ -323,6 +460,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=0.05,
         help="ignore runtime ratios when head runtime is below this many seconds",
     )
+    parser.add_argument(
+        "--gap-tolerance",
+        type=float,
+        default=0.01,
+        help="allowed absolute widening of the decomposed-vs-greedy quality gap "
+        "(scaling documents only)",
+    )
     args = parser.parse_args(argv)
 
     base = strip_execution_counters(json.loads(Path(args.base).read_text()))
@@ -337,6 +481,20 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"suite mismatch: base is {base_suite!r}, head is {head_suite!r}"
         ]
         markdown = render_pareto_markdown(rows, failures)
+    elif {base_suite, head_suite} == {"scaling"}:
+        rows, failures = compare_scaling_documents(
+            base,
+            head,
+            max_runtime_ratio=args.max_runtime_ratio,
+            runtime_floor=args.runtime_floor,
+            gap_tolerance=args.gap_tolerance,
+        )
+        markdown = render_scaling_markdown(rows, failures)
+    elif "scaling" in (base_suite, head_suite):
+        rows, failures = [], [
+            f"suite mismatch: base is {base_suite!r}, head is {head_suite!r}"
+        ]
+        markdown = render_scaling_markdown(rows, failures)
     else:
         rows, failures = compare_documents(
             base,

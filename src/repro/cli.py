@@ -49,7 +49,7 @@ from repro.errors import CheckpointError, DesignError, OptimizationError, ReproE
 __all__ = ["main"]
 
 #: Benchmark drivers reachable through ``repro bench <suite>``.
-BENCH_SUITES = ("analysis", "optimize", "perf", "pareto", "compare")
+BENCH_SUITES = ("analysis", "optimize", "perf", "pareto", "scale", "compare")
 
 #: Default SNR floors of the ``repro pareto`` sweep (dB).
 DEFAULT_PARETO_FLOORS = (45.0, 50.0, 55.0, 60.0, 65.0)
@@ -103,7 +103,9 @@ def _add_optimize_parser(sub) -> None:
     parser.add_argument("circuit", metavar="CIRCUIT", help="benchmark circuit name")
     parser.add_argument("--snr-floor", type=float, default=60.0, dest="snr_floor_db")
     parser.add_argument("--margin", type=float, default=1.0, dest="margin_db")
-    parser.add_argument("--strategy", default="greedy", help="uniform / greedy / anneal")
+    parser.add_argument(
+        "--strategy", default="greedy", help="uniform / greedy / anneal / decomposed"
+    )
     parser.add_argument("--method", default="aa", help="ia / aa / taylor / sna / pna")
     parser.add_argument(
         "--confidence",
@@ -119,6 +121,23 @@ def _add_optimize_parser(sub) -> None:
     parser.add_argument("--samples", type=int, default=20_000, help="MC validation samples")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--anneal-iterations", type=int, default=120)
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=None,
+        help="partition count of --strategy decomposed (default: auto-sized)",
+    )
+    parser.add_argument(
+        "--outer-iterations",
+        type=int,
+        default=3,
+        help="consensus-iteration budget of --strategy decomposed",
+    )
+    parser.add_argument(
+        "--inner",
+        default="greedy",
+        help="inner strategy of --strategy decomposed (greedy / anneal / uniform)",
+    )
     parser.add_argument("--cost-table", default="lut4")
     parser.add_argument(
         "--engine",
@@ -127,7 +146,11 @@ def _add_optimize_parser(sub) -> None:
         help="noise-analysis engine the strategy's inner loop uses",
     )
     parser.add_argument(
-        "--workers", type=int, default=1, help="Monte-Carlo validation shard workers"
+        "--workers",
+        type=int,
+        default=1,
+        help="Monte-Carlo validation shard workers (and, for --strategy "
+        "decomposed, the subproblem worker processes)",
     )
     parser.add_argument("--out", default=None, help="also write the result JSON here")
     parser.add_argument(
@@ -267,6 +290,21 @@ def _optimize_config(args: argparse.Namespace, engine: str):
 def _strategy_options(args: argparse.Namespace) -> dict:
     if args.strategy == "anneal":
         return {"iterations": args.anneal_iterations, "seed": args.seed}
+    if args.strategy == "decomposed":
+        inner = getattr(args, "inner", "greedy")
+        options: dict = {
+            "partitions": getattr(args, "partitions", None),
+            "outer_iterations": getattr(args, "outer_iterations", None),
+            "inner": inner,
+            "workers": getattr(args, "workers", 1),
+            "seed": args.seed,
+        }
+        if inner == "anneal":
+            options["inner_options"] = {
+                "iterations": args.anneal_iterations,
+                "seed": args.seed,
+            }
+        return options
     return {}
 
 
@@ -298,6 +336,9 @@ def _search_checkpoint(args: argparse.Namespace, command: str, **extra_meta: obj
         "anneal_iterations": args.anneal_iterations,
         "cost_table": args.cost_table,
         "engine": args.engine,
+        "partitions": getattr(args, "partitions", None),
+        "outer_iterations": getattr(args, "outer_iterations", None),
+        "inner": getattr(args, "inner", None),
         **extra_meta,
     }
     if command == "optimize":
@@ -308,13 +349,27 @@ def _search_checkpoint(args: argparse.Namespace, command: str, **extra_meta: obj
     return checkpoint
 
 
-def _cmd_optimize(args: argparse.Namespace) -> int:
+def _resolve_circuit(name: str):
+    """A benchmark circuit by name, or a generated one from a spec string."""
     from repro.benchmarks.circuits import CIRCUITS, get_circuit
+    from repro.benchmarks.generators import GENERATORS, generate_circuit
+
+    if name in CIRCUITS:
+        return get_circuit(name)
+    base = name.partition(":")[0]
+    if base in GENERATORS:
+        return generate_circuit(name)
+    raise DesignError(
+        f"unknown circuit {name!r}; available circuits: {', '.join(CIRCUITS)}; "
+        f"generators: {', '.join(GENERATORS)} "
+        "(spec syntax: fir_cascade:taps=8,samples=64)"
+    )
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
     from repro.optimize import OptimizationProblem, get_optimizer
 
-    if args.circuit not in CIRCUITS:
-        raise DesignError(f"unknown circuit {args.circuit!r}; available: {', '.join(CIRCUITS)}")
-    circuit = get_circuit(args.circuit)
+    circuit = _resolve_circuit(args.circuit)
     config = _optimize_config(args, args.engine).replace(mc_workers=args.workers)
     problem = OptimizationProblem.from_circuit(circuit, args.snr_floor_db, config=config)
     checkpoint = _search_checkpoint(args, command="optimize")
@@ -382,6 +437,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         from repro.benchmarks.bench_perf import main as driver
     elif args.suite == "pareto":
         from repro.benchmarks.bench_pareto import main as driver
+    elif args.suite == "scale":
+        from repro.benchmarks.bench_scale import main as driver
     else:
         from repro.benchmarks.compare_bench import main as driver
     return int(driver(rest))

@@ -203,6 +203,13 @@ class OptimizeConfig:
         ``batched -> incremental -> fresh`` chain (each fallback logged
         as a :class:`~repro.analysis.degradation.DegradationEvent` on
         the problem) instead of aborting the search.
+    partitions:
+        Partition count of the ``decomposed`` strategy (``None`` sizes
+        it automatically from the graph: one partition per ~250
+        arithmetic nodes).  Ignored by the whole-graph strategies.
+    outer_iterations:
+        Consensus-iteration budget of the ``decomposed`` strategy's
+        ADMM-style outer loop.
     """
 
     strategy: str = "greedy"
@@ -220,8 +227,18 @@ class OptimizeConfig:
     overflow: str = "saturate"
     mc_workers: int | None = None
     engine_fallback: bool = True
+    partitions: int | None = None
+    outer_iterations: int = 3
 
     def __post_init__(self) -> None:
+        if self.partitions is not None and self.partitions < 1:
+            raise OptimizationError(
+                f"partitions must be >= 1 or None, got {self.partitions}"
+            )
+        if self.outer_iterations < 1:
+            raise OptimizationError(
+                f"outer_iterations must be >= 1, got {self.outer_iterations}"
+            )
         if self.engine not in ENGINES:
             raise OptimizationError(
                 f"unknown engine {self.engine!r}; choose from {ENGINES}"

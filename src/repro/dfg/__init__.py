@@ -18,6 +18,12 @@ from repro.dfg.evaluate import (
 )
 from repro.dfg.graph import DFG
 from repro.dfg.node import Node, OpType
+from repro.dfg.partition import (
+    Partitioning,
+    PartitionSubgraph,
+    extract_partition,
+    partition_graph,
+)
 from repro.dfg.range_analysis import formats_for_ranges, infer_ranges
 from repro.dfg.trace import TracedCircuit, trace
 from repro.dfg.unroll import UnrolledGraph, unroll_sequential
@@ -40,4 +46,8 @@ __all__ = [
     "unroll_sequential",
     "infer_ranges",
     "formats_for_ranges",
+    "Partitioning",
+    "PartitionSubgraph",
+    "partition_graph",
+    "extract_partition",
 ]

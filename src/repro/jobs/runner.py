@@ -30,6 +30,7 @@ its attempt budget is spent.
 from __future__ import annotations
 
 import heapq
+import os
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -50,6 +51,19 @@ BACKENDS = ("serial", "process")
 #: Poll interval of the resilient process loop; bounds how late a
 #: timeout kill can fire past the deadline.
 _POLL_S = 0.05
+
+#: Environment marker set inside every pool worker process.  A
+#: :class:`JobRunner` constructed under it (a job that itself shards —
+#: e.g. a benchmark cell running the decomposed optimizer) silently
+#: degrades to the serial backend instead of spawning a pool-inside-a-
+#: pool that oversubscribes the machine.  Results are unaffected: both
+#: backends are bit-identical by design.
+_WORKER_ENV = "REPRO_JOBS_WORKER"
+
+
+def _mark_worker_process() -> None:
+    """Pool initializer: brand this process as a jobs worker."""
+    os.environ[_WORKER_ENV] = "1"
 
 
 def execute_job(spec: JobSpec, context: ExecutionContext | None = None) -> JobResult:
@@ -161,6 +175,9 @@ class JobRunner:
             backend = "process" if workers > 1 else "serial"
         if backend not in BACKENDS:
             raise JobError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        self.nested = bool(os.environ.get(_WORKER_ENV))
+        if backend == "process" and self.nested:
+            backend = "serial"  # never nest pools inside a pool worker
         if chunksize is not None and chunksize < 1:
             raise JobError(f"chunksize must be >= 1, got {chunksize}")
         if timeout_s is not None and timeout_s <= 0.0:
@@ -284,7 +301,9 @@ class JobRunner:
         workers = min(self.workers, len(ordered))
         chunksize = self.chunksize or max(1, -(-len(ordered) // (workers * 4)))
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_mark_worker_process
+            ) as pool:
                 # map() preserves submission order regardless of which
                 # worker finishes first — the determinism anchor.
                 return list(pool.map(execute_job, ordered, chunksize=chunksize))
@@ -313,7 +332,9 @@ class JobRunner:
         ]
         heapq.heapify(pending)
         futures: Dict[Future, Tuple[int, int, int, float | None]] = {}
-        pool = ProcessPoolExecutor(max_workers=workers)
+        pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=_mark_worker_process
+        )
         pool_broken = False
         try:
             while pending or futures:
@@ -484,7 +505,9 @@ class JobRunner:
                 completed=[result for result in results.values() if result.ok],
             )
         self.last_stats.pool_restarts += 1
-        return ProcessPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(
+            max_workers=workers, initializer=_mark_worker_process
+        )
 
     # ------------------------------------------------------------------ #
     @staticmethod

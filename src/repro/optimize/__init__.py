@@ -31,6 +31,9 @@ from repro.optimize.strategies import (
     get_optimizer,
 )
 
+# Imported after strategies so registration lands in OPTIMIZERS.
+from repro.optimize.decomposed import DecomposedOptimizer
+
 __all__ = [
     "CostTable",
     "CostBreakdown",
@@ -46,6 +49,7 @@ __all__ = [
     "UniformSweepOptimizer",
     "GreedyBitStealingOptimizer",
     "SimulatedAnnealingOptimizer",
+    "DecomposedOptimizer",
     "OPTIMIZERS",
     "get_optimizer",
     "ParetoPoint",

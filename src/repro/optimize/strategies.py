@@ -726,6 +726,8 @@ OPTIMIZERS: Dict[str, type[WordLengthOptimizer]] = {
 
 def get_optimizer(name: str, **options: object) -> WordLengthOptimizer:
     """Instantiate a strategy by registry name."""
+    if str(name).lower() == "decomposed" and "decomposed" not in OPTIMIZERS:
+        import repro.optimize.decomposed  # noqa: F401 - registers itself
     try:
         factory = OPTIMIZERS[str(name).lower()]
     except KeyError as exc:

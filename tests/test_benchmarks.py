@@ -73,3 +73,62 @@ class TestBenchDriver:
         for entry in document["circuits"].values():
             assert entry["total_runtime_s"] > 0
             assert set(entry["results"]) == {"ia", "aa", "taylor", "sna", "pna", "montecarlo"}
+
+
+class TestScaleDriver:
+    def test_tiny_sweep_document_structure(self, tmp_path):
+        from repro.benchmarks.bench_scale import run_scale_benchmarks
+
+        document = run_scale_benchmarks(
+            points=({"spec": "fir_cascade:taps=4,samples=6", "partitions": 2},),
+            mc_samples=512,
+            require_nodes=0,
+            checkpoint_path=str(tmp_path / "scale.ckpt"),
+        )
+        assert document["suite"] == "scaling"
+        assert document["size_requirement_met"] is True
+        assert document["passed"] is True
+        (point,) = document["points"]
+        assert point["spec"] == "fir_cascade:taps=4,samples=6"
+        assert point["nodes"] > 0 and point["arithmetic_nodes"] > 0
+        decomposed = point["decomposed"]
+        assert decomposed["feasible"] is True
+        assert decomposed["mc_validated"] is True
+        assert decomposed["partitions"] == 2
+        assert point["greedy"] is not None
+        assert point["quality_gap"] is not None
+        assert point["within_budget"] is True and point["passed"] is True
+        assert document["time_curve"] == [
+            {"nodes": point["nodes"], "runtime_s": decomposed["runtime_s"]}
+        ]
+        # A clean sweep leaves no checkpoint files behind.
+        assert not list(tmp_path.glob("scale.ckpt*"))
+
+    def test_size_requirement_gates_the_document(self):
+        from repro.benchmarks.bench_scale import run_scale_benchmarks
+
+        document = run_scale_benchmarks(
+            points=({"spec": "fir_cascade:taps=4,samples=6", "partitions": 2},),
+            mc_samples=256,
+            require_nodes=5000,
+        )
+        assert document["size_requirement_met"] is False
+        assert document["passed"] is False
+
+    def test_smoke_cli_writes_json(self, tmp_path, capsys):
+        from repro.benchmarks.bench_scale import main as scale_main
+
+        out = tmp_path / "BENCH_scale_smoke.json"
+        code = scale_main(
+            [
+                "--smoke",
+                "--samples", "256",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["suite"] == "scaling"
+        assert document["passed"] is True
+        printed = capsys.readouterr().out
+        assert "scaling" in printed.lower() or "scale" in printed.lower()

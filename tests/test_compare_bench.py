@@ -4,7 +4,13 @@ from __future__ import annotations
 
 import json
 
-from repro.benchmarks.compare_bench import compare_documents, main, render_markdown
+from repro.benchmarks.compare_bench import (
+    compare_documents,
+    compare_scaling_documents,
+    main,
+    render_markdown,
+    render_scaling_markdown,
+)
 
 
 def make_document(width=1.0, runtime=0.2, enclosed=True):
@@ -100,3 +106,126 @@ class TestMain:
         head.write_text(json.dumps(make_document(enclosed=False)))
         assert main([str(base), str(head), "--summary", str(summary)]) == 1
         assert "UNSOUND" in summary.read_text()
+
+
+def make_scaling_document(
+    runtime=10.0,
+    gap=0.01,
+    feasible=True,
+    mc_validated=True,
+    spec="fir_cascade:taps=8,samples=40",
+):
+    return {
+        "suite": "scaling",
+        "points": [
+            {
+                "spec": spec,
+                "nodes": 634,
+                "arithmetic_nodes": 500,
+                "decomposed": {
+                    "feasible": feasible,
+                    "cost": 1000.0 * (1.0 + (gap if gap is not None else 0.0)),
+                    "snr_db": 61.0,
+                    "mc_snr_db": 90.0 if mc_validated else 40.0,
+                    "mc_validated": mc_validated,
+                    "runtime_s": runtime,
+                },
+                "greedy": None if gap is None else {"cost": 1000.0, "runtime_s": runtime},
+                "quality_gap": gap,
+                "within_budget": True,
+                "passed": feasible and mc_validated,
+            }
+        ],
+        "largest_nodes": 634,
+        "size_requirement_met": True,
+        "passed": feasible and mc_validated,
+    }
+
+
+class TestCompareScalingDocuments:
+    def test_identical_documents_pass(self):
+        rows, failures = compare_scaling_documents(
+            make_scaling_document(), make_scaling_document()
+        )
+        assert failures == []
+        assert len(rows) == 1 and rows[0]["runtime_ratio"] == 1.0
+
+    def test_runtime_regression_fails(self):
+        rows, failures = compare_scaling_documents(
+            make_scaling_document(runtime=10.0), make_scaling_document(runtime=25.0)
+        )
+        assert any("runtime regressed" in message for message in failures)
+        assert rows[0]["runtime_regressed"]
+
+    def test_runtime_noise_below_floor_is_ignored(self):
+        _, failures = compare_scaling_documents(
+            make_scaling_document(runtime=0.001), make_scaling_document(runtime=0.01)
+        )
+        assert failures == []
+
+    def test_gap_widening_fails(self):
+        rows, failures = compare_scaling_documents(
+            make_scaling_document(gap=0.01), make_scaling_document(gap=0.04)
+        )
+        assert any("quality gap widened" in message for message in failures)
+        assert rows[0]["gap_widened"]
+
+    def test_gap_drift_within_tolerance_passes(self):
+        _, failures = compare_scaling_documents(
+            make_scaling_document(gap=0.010), make_scaling_document(gap=0.015)
+        )
+        assert failures == []
+
+    def test_gap_missing_at_head_fails(self):
+        _, failures = compare_scaling_documents(
+            make_scaling_document(gap=0.01), make_scaling_document(gap=None)
+        )
+        assert any("missing at head" in message for message in failures)
+
+    def test_missing_size_fails(self):
+        _, failures = compare_scaling_documents(
+            make_scaling_document(), make_scaling_document(spec="mlp_layer:inputs=64")
+        )
+        assert any("present at base is missing" in message for message in failures)
+
+    def test_lost_feasibility_fails(self):
+        _, failures = compare_scaling_documents(
+            make_scaling_document(feasible=True), make_scaling_document(feasible=False)
+        )
+        assert any("infeasible at head" in message for message in failures)
+
+    def test_lost_validation_fails(self):
+        _, failures = compare_scaling_documents(
+            make_scaling_document(mc_validated=True),
+            make_scaling_document(mc_validated=False),
+        )
+        assert any("Monte-Carlo validated at base" in message for message in failures)
+
+    def test_markdown_renders_gap_columns(self):
+        rows, failures = compare_scaling_documents(
+            make_scaling_document(), make_scaling_document()
+        )
+        markdown = render_scaling_markdown(rows, failures)
+        assert "| spec | nodes |" in markdown and "PASSED" in markdown
+        assert "+1.00%" in markdown
+
+
+class TestScalingMain:
+    def test_scaling_dispatch_and_exit_codes(self, tmp_path):
+        base = tmp_path / "base.json"
+        head = tmp_path / "head.json"
+        summary = tmp_path / "summary.md"
+        base.write_text(json.dumps(make_scaling_document()))
+        head.write_text(json.dumps(make_scaling_document()))
+        assert main([str(base), str(head), "--summary", str(summary)]) == 0
+        assert "Scaling regression" in summary.read_text()
+
+        head.write_text(json.dumps(make_scaling_document(runtime=25.0)))
+        assert main([str(base), str(head), "--summary", str(summary)]) == 1
+
+    def test_suite_mismatch_fails(self, tmp_path):
+        base = tmp_path / "base.json"
+        head = tmp_path / "head.json"
+        base.write_text(json.dumps(make_scaling_document()))
+        head.write_text(json.dumps(make_document()))
+        assert main([str(base), str(head), "--summary", ""]) == 1

@@ -1,0 +1,84 @@
+"""Tests of the size-parameterized circuit generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.generators import (
+    GENERATORS,
+    generate_circuit,
+    parse_generator_spec,
+)
+from repro.errors import DesignError
+
+
+class TestSpecParsing:
+    def test_bare_name_uses_defaults(self):
+        base, params = parse_generator_spec("fir_cascade")
+        assert base == "fir_cascade" and params == {}
+
+    def test_parameters_parse_as_integers(self):
+        base, params = parse_generator_spec("mlp_layer:inputs=6,neurons=4")
+        assert base == "mlp_layer"
+        assert params == {"inputs": 6, "neurons": 4}
+
+    def test_unknown_generator_rejected(self):
+        with pytest.raises(DesignError, match="unknown circuit generator"):
+            parse_generator_spec("warp_core:coils=7")
+
+    def test_malformed_parameter_rejected(self):
+        with pytest.raises(DesignError, match="malformed generator parameter"):
+            parse_generator_spec("fir_cascade:taps")
+
+    def test_non_integer_value_rejected(self):
+        with pytest.raises(DesignError, match="must be an integer"):
+            parse_generator_spec("fir_cascade:taps=eight")
+
+    def test_unknown_parameter_name_rejected(self):
+        with pytest.raises(DesignError, match="bad parameters"):
+            generate_circuit("fir_cascade:warp=9")
+
+    def test_out_of_range_size_rejected(self):
+        with pytest.raises(DesignError, match="taps >= 1"):
+            generate_circuit("fir_cascade:taps=0")
+
+
+class TestGeneratedCircuits:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_defaults_produce_valid_circuits(self, name):
+        circuit = generate_circuit(name)
+        circuit.graph.validate()
+        assert set(circuit.input_ranges)
+        assert "generated" in circuit.tags
+
+    def test_node_count_scales_with_size(self):
+        sizes = []
+        for samples in (8, 16, 32):
+            graph = generate_circuit(f"fir_cascade:taps=4,samples={samples}").graph
+            sizes.append(len(list(graph.nodes())))
+        assert sizes[0] < sizes[1] < sizes[2]
+        # Deep unrolling is at least linear in the unroll depth.
+        assert sizes[2] >= 2 * sizes[0]
+
+    def test_mlp_scales_with_width(self):
+        small = generate_circuit("mlp_layer:inputs=4,neurons=2").graph
+        large = generate_circuit("mlp_layer:inputs=8,neurons=4").graph
+        assert len(list(large.nodes())) > len(list(small.nodes()))
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "fir_cascade:taps=4,samples=12",
+            "iir_cascade:sections=2,samples=8",
+            "mlp_layer:inputs=4,neurons=3",
+        ],
+    )
+    def test_generation_is_deterministic(self, spec):
+        first = generate_circuit(spec)
+        second = generate_circuit(spec)
+        assert first.graph.circuit_hash() == second.graph.circuit_hash()
+        assert first.input_ranges == second.input_ranges
+
+    def test_names_encode_the_size(self):
+        circuit = generate_circuit("fir_cascade:taps=4,samples=12")
+        assert circuit.graph.name == "fir_cascade_t4_n12"

@@ -1,0 +1,151 @@
+"""Property tests of the balanced min-cut graph partitioner."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.benchmarks.circuits import CIRCUITS, get_circuit
+from repro.benchmarks.generators import generate_circuit
+from repro.dfg import extract_partition, partition_graph
+from repro.dfg.node import OpType
+from repro.dfg.range_analysis import infer_ranges
+from repro.errors import DFGError
+
+WEIGHTLESS = (OpType.INPUT, OpType.CONST, OpType.OUTPUT)
+
+
+def weighted_count(graph) -> int:
+    return sum(1 for node in graph.nodes() if node.op not in WEIGHTLESS)
+
+
+def all_graphs():
+    cases = [(name, get_circuit(name).graph) for name in CIRCUITS]
+    for spec in ("fir_cascade:taps=6,samples=20", "mlp_layer:inputs=6,neurons=4"):
+        cases.append((spec, generate_circuit(spec).graph))
+    return cases
+
+
+GRAPHS = all_graphs()
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=[case[0] for case in GRAPHS])
+    def test_every_node_in_exactly_one_partition(self, name, graph):
+        parts = min(3, max(1, weighted_count(graph) // 4))
+        partitioning = partition_graph(graph, parts)
+        assert set(partitioning.assignment) == set(graph.names())
+        members = [set(partitioning.nodes_in(p)) for p in range(partitioning.parts)]
+        union = set().union(*members)
+        assert union == set(graph.names())
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                assert not (members[i] & members[j])
+
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=[case[0] for case in GRAPHS])
+    def test_cut_edge_accounting(self, name, graph):
+        parts = min(3, max(1, weighted_count(graph) // 4))
+        partitioning = partition_graph(graph, parts)
+        assignment = partitioning.assignment
+        expected = set()
+        for node in graph.nodes():
+            operands = list(node.inputs)
+            if node.op == OpType.DELAY:
+                # deferred back-edge wiring also crosses partitions
+                operands = [op for op in operands if op]
+            for operand in operands:
+                producer = graph.node(operand)
+                if producer.op == OpType.CONST or node.op == OpType.OUTPUT:
+                    continue  # replicated / port-following, never a cut
+                if assignment[operand] != assignment[node.name]:
+                    expected.add((operand, node.name))
+        assert set(partitioning.cut_edges) == expected
+
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=[case[0] for case in GRAPHS])
+    def test_balance_bound(self, name, graph):
+        weighted = weighted_count(graph)
+        parts = min(3, max(1, weighted // 4))
+        if parts < 2:
+            pytest.skip("single partition is trivially balanced")
+        partitioning = partition_graph(graph, parts)
+        assert sum(partitioning.sizes) == weighted
+        # sizes count only weight-carrying nodes; the refinement cap is
+        # ceil(ideal * 1.3), phase-1 chunking respects it up to rounding.
+        ideal = weighted / parts
+        assert max(partitioning.sizes) <= ideal * 1.3 + 1.0
+
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=[case[0] for case in GRAPHS])
+    def test_outputs_follow_their_producer(self, name, graph):
+        parts = min(3, max(1, weighted_count(graph) // 4))
+        partitioning = partition_graph(graph, parts)
+        for node in graph.nodes():
+            if node.op == OpType.OUTPUT:
+                producer = node.inputs[0]
+                assert partitioning.assignment[node.name] == (
+                    partitioning.assignment[producer]
+                )
+
+    def test_invalid_part_count_rejected(self):
+        graph = get_circuit("fir4").graph
+        with pytest.raises(DFGError):
+            partition_graph(graph, 0)
+
+    def test_determinism_across_hash_seeds(self, tmp_path):
+        """The partitioning must not depend on PYTHONHASHSEED."""
+        script = (
+            "import json\n"
+            "from repro.benchmarks.generators import generate_circuit\n"
+            "from repro.dfg import partition_graph\n"
+            "g = generate_circuit('fir_cascade:taps=6,samples=20').graph\n"
+            "print(json.dumps(partition_graph(g, 3).to_doc(), sort_keys=True))\n"
+        )
+        docs = []
+        for hash_seed in ("0", "12345"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            docs.append(json.loads(proc.stdout))
+        assert docs[0] == docs[1]
+
+
+class TestExtraction:
+    @pytest.mark.parametrize("name,graph", GRAPHS, ids=[case[0] for case in GRAPHS])
+    def test_extracted_subgraphs_are_valid_and_cover(self, name, graph):
+        traced = get_circuit(name) if name in CIRCUITS else generate_circuit(name)
+        circuit_ranges = infer_ranges(traced.graph, traced.input_ranges).ranges
+        parts = min(3, max(1, weighted_count(graph) // 4))
+        partitioning = partition_graph(graph, parts)
+        seen = set()
+        for part in range(partitioning.parts):
+            sub = extract_partition(graph, partitioning, part, circuit_ranges)
+            sub.graph.validate()
+            assert sub.boundary_outputs, "every partition must expose an output"
+            for name_ in sub.boundary_inputs:
+                assert name_ in sub.input_ranges
+            seen.update(partitioning.nodes_in(part))
+        assert seen == set(graph.names())
+
+    def test_boundary_inputs_carry_global_ranges(self):
+        traced = generate_circuit("fir_cascade:taps=6,samples=20")
+        ranges = infer_ranges(traced.graph, traced.input_ranges).ranges
+        partitioning = partition_graph(traced.graph, 3)
+        for part in range(3):
+            sub = extract_partition(traced.graph, partitioning, part, ranges)
+            for boundary in sub.boundary_inputs:
+                lo, hi = sub.input_ranges[boundary]
+                assert lo <= hi
+                if boundary in ranges:
+                    assert lo == pytest.approx(ranges[boundary].lo)
+                    assert hi == pytest.approx(ranges[boundary].hi)
